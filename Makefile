@@ -1,0 +1,49 @@
+# SymProp build and verification targets.
+
+GO ?= go
+
+.PHONY: all build test test-race vet bench verify examples reproduce generate clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-heavy packages.
+test-race:
+	$(GO) test -race ./internal/kernels/ ./internal/linalg/ ./internal/tucker/ ./internal/cpd/ ./internal/csf/ .
+
+# testing.B benchmarks (one family per paper table/figure).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Cross-implementation equivalence gate.
+verify:
+	$(GO) run ./cmd/symprop-bench verify
+
+# Regenerate every table and figure at laptop scale.
+reproduce:
+	$(GO) run ./cmd/symprop-bench -profile quick all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/communities
+	$(GO) run ./examples/highorder
+	$(GO) run ./examples/convergence
+	$(GO) run ./examples/moments
+
+# Regenerate the unrolled iteration code and lattice evaluators.
+generate:
+	$(GO) run ./tools/geniterate > internal/dense/iterate_gen.go
+	gofmt -w internal/dense/iterate_gen.go
+	$(GO) run ./tools/genlattice > internal/kernels/lattice_gen.go
+	gofmt -w internal/kernels/lattice_gen.go
+
+clean:
+	$(GO) clean ./...

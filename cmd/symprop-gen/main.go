@@ -1,0 +1,194 @@
+// Command symprop-gen generates sparse symmetric tensors: uniform-random
+// synthetics, planted-partition hypergraphs, stand-ins for the paper's
+// Table III datasets, and conversions from hypergraph edge lists.
+//
+// Usage:
+//
+//	symprop-gen random -order N -dim I -nnz K [-seed S] [-out x.tns]
+//	symprop-gen hypergraph -nodes V -communities C -edges E -order N
+//	        [-pintra P] [-seed S] [-out x.tns] [-edges-out h.txt]
+//	symprop-gen dataset -name <table3-name> [-profile quick|paper|test]
+//	        [-seed S] [-out x.tns]
+//	symprop-gen convert -order N -in edges.txt [-out x.tns]
+//	symprop-gen list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/symprop/symprop/internal/bench"
+	"github.com/symprop/symprop/internal/hypergraph"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "random":
+		err = runRandom(os.Args[2:])
+	case "hypergraph":
+		err = runHypergraph(os.Args[2:])
+	case "dataset":
+		err = runDataset(os.Args[2:])
+	case "convert":
+		err = runConvert(os.Args[2:])
+	case "list":
+		err = runList()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symprop-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  symprop-gen random -order N -dim I -nnz K [-seed S] [-out x.tns]
+  symprop-gen hypergraph -nodes V -communities C -edges E -order N [-pintra P] [-seed S] [-out x.tns] [-edges-out h.txt]
+  symprop-gen dataset -name <name> [-profile quick|paper|test] [-seed S] [-out x.tns]
+  symprop-gen convert -order N -in edges.txt [-out x.tns]
+  symprop-gen list`)
+}
+
+func emit(x *spsym.Tensor, out string) error {
+	if out == "" {
+		return x.Write(os.Stdout)
+	}
+	if err := x.Save(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: order=%d dim=%d unnz=%d\n", out, x.Order, x.Dim, x.NNZ())
+	return nil
+}
+
+func runRandom(args []string) error {
+	fs := flag.NewFlagSet("random", flag.ExitOnError)
+	order := fs.Int("order", 4, "tensor order")
+	dim := fs.Int("dim", 100, "dimension size")
+	nnz := fs.Int("nnz", 1000, "IOU non-zero count")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	x, err := spsym.Random(spsym.RandomOptions{Order: *order, Dim: *dim, NNZ: *nnz, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	return emit(x, *out)
+}
+
+func runHypergraph(args []string) error {
+	fs := flag.NewFlagSet("hypergraph", flag.ExitOnError)
+	nodes := fs.Int("nodes", 200, "node count")
+	communities := fs.Int("communities", 4, "planted community count")
+	edges := fs.Int("edges", 1000, "hyperedge count")
+	order := fs.Int("order", 4, "tensor order (max hyperedge cardinality)")
+	minCard := fs.Int("mincard", 2, "minimum hyperedge cardinality")
+	pintra := fs.Float64("pintra", 0.8, "probability a hyperedge stays inside one community")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "tensor output file (default stdout)")
+	edgesOut := fs.String("edges-out", "", "also write the raw hyperedge list here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := hypergraph.Planted(hypergraph.PlantedOptions{
+		Nodes: *nodes, Communities: *communities, Edges: *edges,
+		MinCard: *minCard, MaxCard: *order, PIntra: *pintra, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *edgesOut != "" {
+		f, err := os.Create(*edgesOut)
+		if err != nil {
+			return err
+		}
+		if err := h.WriteEdgeList(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	x, err := h.ToTensor(*order)
+	if err != nil {
+		return err
+	}
+	return emit(x, *out)
+}
+
+func runDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	name := fs.String("name", "", "Table III dataset name (see 'symprop-gen list')")
+	profileName := fs.String("profile", "quick", "scale: quick, paper, or test")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	profile, err := bench.ParseProfile(*profileName)
+	if err != nil {
+		return err
+	}
+	for _, d := range profile.Datasets() {
+		if d.Name == *name {
+			x, err := d.GenerateTensor(*seed)
+			if err != nil {
+				return err
+			}
+			return emit(x, *out)
+		}
+	}
+	return fmt.Errorf("unknown dataset %q (try 'symprop-gen list')", *name)
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	order := fs.Int("order", 4, "tensor order (max hyperedge cardinality)")
+	in := fs.String("in", "", "hypergraph edge-list file")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, err := hypergraph.ReadEdgeList(f)
+	if err != nil {
+		return err
+	}
+	x, err := h.ToTensor(*order)
+	if err != nil {
+		return err
+	}
+	return emit(x, *out)
+}
+
+func runList() error {
+	fmt.Println("Table III datasets (paper-scale parameters):")
+	for _, d := range hypergraph.TableIII() {
+		kind := "synthetic"
+		if !d.Synthetic {
+			kind = "hypergraph stand-in"
+		}
+		fmt.Printf("  %-16s %-20s order=%-3d dim=%-8d unnz=%-8d rank=%d\n",
+			d.Name, kind, d.Order, d.Dim, d.UNNZ, d.Rank)
+	}
+	return nil
+}

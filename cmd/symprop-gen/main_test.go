@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+func TestRunRandom(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.tns")
+	if err := runRandom([]string{"-order", "3", "-dim", "10", "-nnz", "20", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := spsym.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order != 3 || x.NNZ() != 20 {
+		t.Errorf("generated tensor wrong: order=%d nnz=%d", x.Order, x.NNZ())
+	}
+	if err := runRandom([]string{"-order", "0", "-out", out}); err == nil {
+		t.Error("order 0 should fail")
+	}
+}
+
+func TestRunHypergraphAndConvert(t *testing.T) {
+	dir := t.TempDir()
+	tns := filepath.Join(dir, "h.tns")
+	edges := filepath.Join(dir, "h.edges")
+	err := runHypergraph([]string{
+		"-nodes", "30", "-communities", "3", "-edges", "60",
+		"-order", "3", "-out", tns, "-edges-out", edges,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(edges); err != nil {
+		t.Fatalf("edge list not written: %v", err)
+	}
+	x, err := spsym.Load(tns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order != 3 {
+		t.Errorf("order = %d", x.Order)
+	}
+
+	// Convert the emitted edge list back into a tensor.
+	out2 := filepath.Join(dir, "converted.tns")
+	if err := runConvert([]string{"-order", "3", "-in", edges, "-out", out2}); err != nil {
+		t.Fatal(err)
+	}
+	y, err := spsym.Load(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NNZ() == 0 {
+		t.Error("converted tensor empty")
+	}
+	if err := runConvert([]string{"-order", "3"}); err == nil {
+		t.Error("missing -in should fail")
+	}
+}
+
+func TestRunDatasetAndList(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.tns")
+	if err := runDataset([]string{"-name", "6D", "-profile", "test", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDataset([]string{"-name", "contact-school", "-profile", "test", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDataset([]string{"-name", "nope", "-out", out}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := runDataset([]string{"-name", "6D", "-profile", "bogus", "-out", out}); err == nil {
+		t.Error("unknown profile should fail")
+	}
+	if err := runList(); err != nil {
+		t.Fatal(err)
+	}
+}

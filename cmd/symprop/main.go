@@ -1,0 +1,284 @@
+// Command symprop decomposes sparse symmetric tensors from the shell.
+//
+// Usage:
+//
+//	symprop info <tensor.tns>
+//	symprop decompose -rank R [-algo hoqri|hooi] [-iters N] [-tol T]
+//	        [-hosvd] [-seed S] [-out factor.txt] <tensor.tns>
+//	symprop ttmc -rank R [-seed S] <tensor.tns>
+//
+// Tensors use the symmetric text format ("sym <order> <dim> <nnz>" header,
+// then 1-based "i1 ... iN value" lines); hypergraph edge lists can be
+// converted with symprop-gen.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	symprop "github.com/symprop/symprop"
+	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "decompose":
+		err = runDecompose(os.Args[2:])
+	case "ttmc":
+		err = runTTMc(os.Args[2:])
+	case "cp":
+		err = runCP(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symprop:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  symprop info <tensor.tns>
+  symprop decompose -rank R [-algo hoqri|hooi] [-iters N] [-tol T] [-hosvd] [-seed S] [-out U.txt] <tensor.tns>
+  symprop ttmc -rank R [-seed S] <tensor.tns>
+  symprop cp -rank R [-iters N] [-tol T] [-seed S] <tensor.tns>`)
+}
+
+func loadArg(fs *flag.FlagSet) (*spsym.Tensor, error) {
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one tensor file argument")
+	}
+	return spsym.Load(fs.Arg(0))
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	x, err := loadArg(fs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("order:          %d\n", x.Order)
+	fmt.Printf("dimension:      %d\n", x.Dim)
+	fmt.Printf("IOU non-zeros:  %d\n", x.NNZ())
+	fmt.Printf("expanded nnz:   %d\n", x.ExpandedNNZ())
+	fmt.Printf("||X||_F:        %g\n", math.Sqrt(x.NormSquared()))
+	fmt.Printf("max distinct:   %d index values per non-zero\n", x.MaxDistinct())
+	fmt.Printf("compact Y cols: S_{N-1,R}: R=4 -> %d, R=8 -> %d, R=16 -> %d\n",
+		dense.Count(x.Order-1, 4), dense.Count(x.Order-1, 8), dense.Count(x.Order-1, 16))
+
+	// Degree distribution summary (hypergraph node incidence).
+	deg := x.Degrees()
+	var maxDeg, nonzeroNodes int64
+	var sumDeg int64
+	for _, d := range deg {
+		if d > 0 {
+			nonzeroNodes++
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+		sumDeg += d
+	}
+	if nonzeroNodes > 0 {
+		fmt.Printf("degrees:        %d/%d indices touched, max %d, mean %.2f\n",
+			nonzeroNodes, x.Dim, maxDeg, float64(sumDeg)/float64(nonzeroNodes))
+	}
+
+	// Multiplicity profile: how many non-zeros have k distinct index values.
+	hist := make(map[int]int)
+	for k := 0; k < x.NNZ(); k++ {
+		tuple := x.IndexAt(k)
+		d := 0
+		for i, v := range tuple {
+			if i == 0 || v != tuple[i-1] {
+				d++
+			}
+		}
+		hist[d]++
+	}
+	fmt.Printf("distinct-value profile:")
+	for d := 1; d <= x.Order; d++ {
+		if hist[d] > 0 {
+			fmt.Printf(" %d:%d", d, hist[d])
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func runDecompose(args []string) error {
+	fs := flag.NewFlagSet("decompose", flag.ExitOnError)
+	rank := fs.Int("rank", 4, "Tucker rank R")
+	algo := fs.String("algo", "hoqri", "algorithm: hoqri or hooi")
+	iters := fs.Int("iters", 50, "maximum iterations")
+	tol := fs.Float64("tol", 1e-6, "relative objective tolerance (0 = run all iterations)")
+	hosvd := fs.Bool("hosvd", false, "initialize with HOSVD instead of randomly")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "write the factor matrix U to this file")
+	trace := fs.String("trace", "", "write the per-iteration convergence trace as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	x, err := loadArg(fs)
+	if err != nil {
+		return err
+	}
+
+	opts := symprop.Options{
+		Rank: *rank, MaxIters: *iters, Tol: *tol, HOSVDInit: *hosvd, Seed: *seed,
+	}
+	switch *algo {
+	case "hoqri":
+		opts.Algorithm = symprop.HOQRI
+	case "hooi":
+		opts.Algorithm = symprop.HOOI
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	start := time.Now()
+	res, err := symprop.Decompose(x, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("algorithm:       %s\n", *algo)
+	fmt.Printf("iterations:      %d (converged: %v)\n", res.Iters, res.Converged)
+	fmt.Printf("relative error:  %.6f\n", res.FinalRelError())
+	fmt.Printf("total time:      %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("phase breakdown: TTMc %v, SVD %v, QR %v, TC %v, core %v\n",
+		res.Phases.TTMc.Round(time.Millisecond), res.Phases.SVD.Round(time.Millisecond),
+		res.Phases.QR.Round(time.Millisecond), res.Phases.TC.Round(time.Millisecond),
+		res.Phases.Core.Round(time.Millisecond))
+
+	if *out != "" {
+		if err := writeMatrix(*out, res.U); err != nil {
+			return err
+		}
+		fmt.Printf("factor U written to %s\n", *out)
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, res); err != nil {
+			return err
+		}
+		fmt.Printf("convergence trace written to %s\n", *trace)
+	}
+	return nil
+}
+
+func writeTrace(path string, res *symprop.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "iteration,objective,relative_error")
+	for i := range res.Objective {
+		fmt.Fprintf(w, "%d,%.12g,%.12g\n", i+1, res.Objective[i], res.RelError[i])
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runTTMc(args []string) error {
+	fs := flag.NewFlagSet("ttmc", flag.ExitOnError)
+	rank := fs.Int("rank", 4, "chain-product rank R")
+	seed := fs.Int64("seed", 1, "random factor seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	x, err := loadArg(fs)
+	if err != nil {
+		return err
+	}
+	u := linalg.RandomNormal(x.Dim, *rank, rand.New(rand.NewSource(*seed)))
+	start := time.Now()
+	yp, err := symprop.S3TTMc(x, u, symprop.KernelOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("S3TTMc-SP: %v for Y_p(1) of %d x %d (full unfolding would be %d x %d)\n",
+		time.Since(start).Round(time.Microsecond), yp.Rows, yp.Cols,
+		yp.Rows, dense.Pow64(int64(*rank), x.Order-1))
+	return nil
+}
+
+func runCP(args []string) error {
+	fs := flag.NewFlagSet("cp", flag.ExitOnError)
+	rank := fs.Int("rank", 4, "CP rank (number of symmetric rank-1 components)")
+	iters := fs.Int("iters", 100, "maximum ALS sweeps")
+	tol := fs.Float64("tol", 1e-8, "fit-improvement tolerance (0 = run all sweeps)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "write the factor matrix U to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	x, err := loadArg(fs)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := symprop.DecomposeCP(x, symprop.CPOptions{
+		Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweeps:      %d (converged: %v)\n", res.Iters, res.Converged)
+	fmt.Printf("fit:         %.6f\n", res.FinalFit())
+	fmt.Printf("weights:     %.4g\n", res.Lambda)
+	fmt.Printf("total time:  %v\n", time.Since(start).Round(time.Millisecond))
+	if *out != "" {
+		if err := writeMatrix(*out, res.U); err != nil {
+			return err
+		}
+		fmt.Printf("factor U written to %s\n", *out)
+	}
+	return nil
+}
+
+func writeMatrix(path string, m *linalg.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "%d %d\n", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			if j > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%.12g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

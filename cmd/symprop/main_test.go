@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+func tensorFile(t *testing.T) string {
+	t.Helper()
+	x, err := spsym.Random(spsym.RandomOptions{Order: 3, Dim: 12, NNZ: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.tns")
+	if err := x.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunInfo(t *testing.T) {
+	if err := runInfo([]string{tensorFile(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runInfo([]string{}); err == nil {
+		t.Error("missing file argument should fail")
+	}
+	if err := runInfo([]string{"/nonexistent/x.tns"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRunDecompose(t *testing.T) {
+	path := tensorFile(t)
+	dir := t.TempDir()
+	uOut := filepath.Join(dir, "u.txt")
+	traceOut := filepath.Join(dir, "trace.csv")
+	err := runDecompose([]string{
+		"-rank", "3", "-iters", "5", "-algo", "hoqri",
+		"-out", uOut, "-trace", traceOut, path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(uOut); err != nil {
+		t.Errorf("factor file not written: %v", err)
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("trace file empty")
+	}
+	if err := runDecompose([]string{"-rank", "2", "-algo", "hooi", "-iters", "2", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDecompose([]string{"-rank", "2", "-algo", "bogus", path}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestRunTTMcAndCP(t *testing.T) {
+	path := tensorFile(t)
+	if err := runTTMc([]string{"-rank", "3", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCP([]string{"-rank", "2", "-iters", "5", path}); err != nil {
+		t.Fatal(err)
+	}
+	uOut := filepath.Join(t.TempDir(), "cpu.txt")
+	if err := runCP([]string{"-rank", "2", "-iters", "3", "-out", uOut, path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(uOut); err != nil {
+		t.Errorf("CP factor not written: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package symprop_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	symprop "github.com/symprop/symprop"
+)
+
+// Decompose a small random symmetric tensor with the default HOQRI
+// algorithm and report its shape.
+func ExampleDecompose() {
+	x, err := symprop.RandomTensor(3, 20, 60, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := symprop.Decompose(x, symprop.Options{Rank: 4, MaxIters: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("U: %dx%d, core: %dx%d, iterations: %d\n",
+		res.U.Rows, res.U.Cols, res.CoreP.Rows, res.CoreP.Cols, res.Iters)
+	// Output:
+	// U: 20x4, core: 4x10, iterations: 20
+}
+
+// Build a tensor entry by entry: indices need not be sorted, and
+// Canonicalize merges duplicates.
+func ExampleNewTensor() {
+	x := symprop.NewTensor(3, 5)
+	x.Append([]int{4, 0, 2}, 1.5) // stored as (0,2,4)
+	x.Append([]int{2, 0, 4}, 0.5) // same entry: merged by Canonicalize
+	x.Canonicalize()
+	fmt.Printf("nnz=%d value=%.1f expanded=%d\n", x.NNZ(), x.Values[0], x.ExpandedNNZ())
+	// Output:
+	// nnz=1 value=2.0 expanded=6
+}
+
+// Parse a hypergraph edge list and convert it to an order-3 adjacency
+// tensor; short hyperedges are padded with a dummy node.
+func ExampleReadHypergraph() {
+	edges := "0 1 2\n1 3\n2 3 4\n"
+	h, err := symprop.ReadHypergraph(strings.NewReader(edges))
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := h.ToTensor(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nodes=%d tensor dim=%d nnz=%d\n", h.Nodes, x.Dim, x.NNZ())
+	// Output:
+	// nodes=5 tensor dim=6 nnz=3
+}
+
+// The S3TTMc kernel returns the compact partially symmetric unfolding;
+// its column count is C(N+R-2, N-1) instead of R^{N-1}.
+func ExampleS3TTMc() {
+	x, err := symprop.RandomTensor(4, 10, 30, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := symprop.NewMatrix(10, 3)
+	for i := 0; i < 10; i++ {
+		u.Set(i, i%3, 1) // a simple selection matrix
+	}
+	yp, err := symprop.S3TTMc(x, u, symprop.KernelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := symprop.ExpandChainProduct(yp, 4, 3)
+	fmt.Printf("compact: %dx%d, full: %dx%d\n", yp.Rows, yp.Cols, full.Rows, full.Cols)
+	// Output:
+	// compact: 10x10, full: 10x27
+}
+
+// Import a general FROSTT-style .tns listing of a symmetric tensor: the
+// permutation duplicates collapse to unique entries.
+func ExampleReadCOOTensor() {
+	coo := "1 2 3.0\n2 1 3.0\n2 2 5.0\n"
+	x, err := symprop.ReadCOOTensor(strings.NewReader(coo), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("order=%d dim=%d nnz=%d\n", x.Order, x.Dim, x.NNZ())
+	// Output:
+	// order=2 dim=2 nnz=2
+}
+
+// Symmetric CP decomposition recovers a rank-1 tensor exactly.
+func ExampleDecomposeCP() {
+	// Build lambda * v^{⊗3} for v = (1, 2) over every IOU index.
+	x := symprop.NewTensor(3, 2)
+	v := []float64{1, 2}
+	for a := 0; a < 2; a++ {
+		for b := a; b < 2; b++ {
+			for c := b; c < 2; c++ {
+				x.Append([]int{a, b, c}, 0.5*v[a]*v[b]*v[c])
+			}
+		}
+	}
+	x.Canonicalize()
+	res, err := symprop.DecomposeCP(x, symprop.CPOptions{Rank: 1, MaxIters: 30, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fit=%.4f\n", res.FinalFit())
+	// Output:
+	// fit=1.0000
+}

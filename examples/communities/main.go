@@ -1,0 +1,115 @@
+// Community detection in a hypergraph via symmetric Tucker decomposition —
+// the application the paper's introduction motivates: represent the
+// hypergraph as a sparse symmetric adjacency tensor, decompose it, and
+// cluster the rows of the factor U to recover communities.
+//
+//	go run ./examples/communities
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	symprop "github.com/symprop/symprop"
+	"github.com/symprop/symprop/internal/hypergraph"
+)
+
+func main() {
+	// A planted-partition hypergraph: 300 nodes in 5 communities, 3000
+	// hyperedges of cardinality 2-4, 85% of which stay inside their
+	// community.
+	const communities = 5
+	h, err := hypergraph.Planted(hypergraph.PlantedOptions{
+		Nodes:       300,
+		Communities: communities,
+		Edges:       3000,
+		MinCard:     2,
+		MaxCard:     4,
+		PIntra:      0.85,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hypergraph: %d nodes, %d hyperedges, max cardinality %d\n",
+		h.Nodes, h.NumEdges(), h.MaxCardinality())
+
+	// Convert to an order-4 adjacency tensor (smaller hyperedges are padded
+	// with a dummy node, giving dimension nodes+1).
+	x, err := h.ToTensor(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adjacency tensor: order=%d dim=%d unnz=%d\n", x.Order, x.Dim, x.NNZ())
+
+	// Decompose at rank = communities + 1: the extra direction absorbs the
+	// dummy padding node's structure, leaving the community signal to the
+	// remaining columns. HOSVD gives a deterministic spectral start.
+	res, err := symprop.Decompose(x, symprop.Options{
+		Rank:      communities + 1,
+		MaxIters:  60,
+		Tol:       1e-8,
+		HOSVDInit: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decomposition: %d iterations, relative error %.4f\n",
+		res.Iters, res.FinalRelError())
+
+	// Cluster the factor rows of the real nodes (drop the dummy row),
+	// row-normalized first so node degree does not dominate the embedding
+	// (the same normalization spectral clustering uses).
+	rows := symprop.NewMatrix(h.Nodes, res.U.Cols)
+	for i := 0; i < h.Nodes; i++ {
+		copy(rows.Row(i), res.U.Row(i))
+		var s float64
+		for _, v := range rows.Row(i) {
+			s += v * v
+		}
+		if s > 0 {
+			s = 1 / math.Sqrt(s)
+			for j := range rows.Row(i) {
+				rows.Row(i)[j] *= s
+			}
+		}
+	}
+	predicted := symprop.KMeansRows(rows, communities, 11)
+
+	acc := symprop.ClusterAgreement(h.Labels, predicted)
+	nmi := symprop.NMI(h.Labels, predicted)
+	fmt.Printf("community recovery: accuracy %.1f%%, NMI %.3f over %d nodes\n", 100*acc, nmi, h.Nodes)
+
+	// Show a tiny confusion summary.
+	conf := make([][]int, communities)
+	for i := range conf {
+		conf[i] = make([]int, communities)
+	}
+	for i, planted := range h.Labels {
+		conf[planted][predicted[i]]++
+	}
+	fmt.Println("\nconfusion matrix (planted x predicted):")
+	for _, row := range conf {
+		fmt.Printf("  %v\n", row)
+	}
+
+	// Classical baseline: project the tensor to its pairwise co-occurrence
+	// graph and cluster spectrally. Higher-order structure flattens into
+	// pair counts, so the tensor pipeline should match or beat it.
+	adj := symprop.CoOccurrence(x)
+	if x.Dim > h.Nodes { // disconnect the dummy padding node
+		for i := 0; i < x.Dim; i++ {
+			adj.Set(i, h.Nodes, 0)
+			adj.Set(h.Nodes, i, 0)
+		}
+	}
+	spectral, err := symprop.SpectralCluster(adj, communities, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sAcc := symprop.ClusterAgreement(h.Labels, spectral[:h.Nodes])
+	sNMI := symprop.NMI(h.Labels, spectral[:h.Nodes])
+	fmt.Printf("\npairwise spectral baseline: accuracy %.1f%%, NMI %.3f\n", 100*sAcc, sNMI)
+	fmt.Println("(tensor vs pairwise: the hypergraph's higher-order structure is what the tensor factor sees)")
+}

@@ -1,0 +1,59 @@
+// Quickstart: generate a small sparse symmetric tensor, decompose it with
+// HOQRI, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	symprop "github.com/symprop/symprop"
+)
+
+func main() {
+	// A random order-4 symmetric tensor: 60-dimensional with 500 unique
+	// (IOU) non-zeros, each standing for all permutations of its indices.
+	x, err := symprop.RandomTensor(4, 60, 500, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tensor: order=%d dim=%d unique-nnz=%d (expanded nnz=%d)\n",
+		x.Order, x.Dim, x.NNZ(), x.ExpandedNNZ())
+
+	// Decompose at rank 6. HOQRI is the default algorithm; it never builds
+	// anything larger than the compact I x S_{N-1,R} chain product.
+	res, err := symprop.Decompose(x, symprop.Options{
+		Rank:     6,
+		MaxIters: 50,
+		Tol:      1e-8,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged: %v after %d iterations\n", res.Converged, res.Iters)
+	fmt.Printf("relative reconstruction error: %.4f\n", res.FinalRelError())
+	fmt.Printf("factor U: %d x %d (orthonormal columns)\n", res.U.Rows, res.U.Cols)
+	fmt.Printf("compact core C_p(1): %d x %d (full core would hold %d entries)\n",
+		res.CoreP.Rows, res.CoreP.Cols, pow(6, 4))
+
+	// The objective trace is monotone; print a few points.
+	fmt.Println("\nerror per iteration:")
+	for i := 0; i < len(res.RelError); i += 5 {
+		fmt.Printf("  iter %2d: %.6f\n", i+1, res.RelError[i])
+	}
+
+	// Evaluate the approximation at one index (symmetric in its indices).
+	fmt.Printf("\nX̂(1,2,3,4) = %.6f = X̂(4,3,2,1) = %.6f\n",
+		res.EvalApprox([]int{1, 2, 3, 4}), res.EvalApprox([]int{4, 3, 2, 1}))
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

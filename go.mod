@@ -1,0 +1,3 @@
+module github.com/symprop/symprop
+
+go 1.22

@@ -1,0 +1,177 @@
+package symprop_test
+
+// Cross-module integration tests: full pipelines through the public API,
+// exercising file formats, generators, both decompositions, and the
+// clustering post-processing together.
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	symprop "github.com/symprop/symprop"
+)
+
+// Pipeline: generate -> save (text) -> load -> decompose -> save factor ->
+// reload tensor as binary -> decompose again -> identical results.
+func TestPipelineFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	x, err := symprop.RandomTensor(4, 25, 120, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	txt := filepath.Join(dir, "x.tns")
+	if err := x.Save(txt); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "x.stnb")
+	if err := symprop.SaveTensorBinary(x, bin); err != nil {
+		t.Fatal(err)
+	}
+
+	fromTxt, err := symprop.LoadTensor(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := symprop.LoadTensor(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := symprop.Options{Rank: 5, MaxIters: 8, Seed: 3}
+	r1, err := symprop.Decompose(fromTxt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := symprop.Decompose(fromBin, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.FinalRelError()-r2.FinalRelError()) > 1e-12 {
+		t.Errorf("text and binary pipelines diverge: %v vs %v",
+			r1.FinalRelError(), r2.FinalRelError())
+	}
+}
+
+// Pipeline: COO export/import round trip feeding a decomposition.
+func TestPipelineCOOImport(t *testing.T) {
+	x, err := symprop.RandomTensor(3, 12, 40, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Export the expanded non-zeros as general COO text.
+	var buf bytes.Buffer
+	x.ForEachExpanded(func(idx []int32, val float64) {
+		for _, v := range idx {
+			writeInt(&buf, int(v)+1)
+			buf.WriteByte(' ')
+		}
+		writeFloat(&buf, val)
+		buf.WriteByte('\n')
+	})
+	back, err := symprop.ReadCOOTensor(&buf, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != x.NNZ() {
+		t.Fatalf("COO round trip changed nnz: %d vs %d", back.NNZ(), x.NNZ())
+	}
+	if _, err := symprop.Decompose(back, symprop.Options{Rank: 3, MaxIters: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Pipeline: hypergraph -> normalized tensor -> Tucker -> k-means vs CP
+// community signal; NMI of the two clusterings should be far above chance
+// on a strongly planted instance.
+func TestPipelineTuckerVsCPClusterings(t *testing.T) {
+	edges := &bytes.Buffer{}
+	// Two 8-node cliques of triangles.
+	for base := 0; base < 16; base += 8 {
+		for a := 0; a < 8; a++ {
+			for b := a + 1; b < 8; b++ {
+				for c := b + 1; c < 8; c++ {
+					writeInt(edges, base+a)
+					edges.WriteByte(' ')
+					writeInt(edges, base+b)
+					edges.WriteByte(' ')
+					writeInt(edges, base+c)
+					edges.WriteByte('\n')
+				}
+			}
+		}
+	}
+	h, err := symprop.ReadHypergraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := h.ToTensor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xn := x.NormalizeByDegree()
+
+	tuckerRes, err := symprop.Decompose(xn, symprop.Options{Rank: 2, MaxIters: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpRes, err := symprop.DecomposeCP(xn, symprop.CPOptions{Rank: 2, MaxIters: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lab1 := symprop.KMeansRows(tuckerRes.U, 2, 5)
+	lab2 := symprop.KMeansRows(cpRes.U, 2, 5)
+	truth := make([]int, h.Nodes)
+	for i := range truth {
+		if i >= 8 {
+			truth[i] = 1
+		}
+	}
+	if acc := symprop.ClusterAgreement(truth, lab1[:h.Nodes]); acc < 0.95 {
+		t.Errorf("Tucker clustering accuracy %v", acc)
+	}
+	if acc := symprop.ClusterAgreement(truth, lab2[:h.Nodes]); acc < 0.95 {
+		t.Errorf("CP clustering accuracy %v", acc)
+	}
+	if nmi := symprop.NMI(lab1[:h.Nodes], lab2[:h.Nodes]); nmi < 0.8 {
+		t.Errorf("Tucker and CP clusterings disagree: NMI %v", nmi)
+	}
+}
+
+// The memory budget must propagate end to end through the public API and
+// fail cleanly, leaving no partial state.
+func TestPipelineBudgetPropagation(t *testing.T) {
+	t.Setenv("SYMPROP_MEM_BUDGET", "1M")
+	x, err := symprop.RandomTensor(7, 80, 60, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := symprop.Decompose(x, symprop.Options{Rank: 8, MaxIters: 2, Algorithm: symprop.HOOI}); err == nil {
+		t.Error("1M budget should OOM an order-7 rank-8 HOOI")
+	}
+	t.Setenv("SYMPROP_MEM_BUDGET", "0")
+	if _, err := symprop.Decompose(x, symprop.Options{Rank: 3, MaxIters: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeInt(buf *bytes.Buffer, v int) {
+	if v == 0 {
+		buf.WriteByte('0')
+		return
+	}
+	var d []byte
+	for v > 0 {
+		d = append([]byte{byte('0' + v%10)}, d...)
+		v /= 10
+	}
+	buf.Write(d)
+}
+
+func writeFloat(buf *bytes.Buffer, v float64) {
+	buf.WriteString(strconv.FormatFloat(v, 'g', 17, 64))
+}

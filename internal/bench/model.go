@@ -1,0 +1,120 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§VI) as text reports, using scaled
+// "quick" dataset profiles by default and the paper's full parameters under
+// the "paper" profile. cmd/symprop-bench is the CLI front end; the root
+// bench_test.go exposes the same workloads as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/symprop/symprop/internal/dense"
+)
+
+// This file evaluates the closed-form complexity model of paper §III-D and
+// Table II, used by the table2 experiment and by runtime estimation.
+
+// CSPLevel returns c_sp(l; N, R) per IOU non-zero: (2l-1)·C(N,l)·S_{l,R}
+// (paper Eq. 9).
+func CSPLevel(l, order, rank int) int64 {
+	return int64(2*l-1) * dense.Binomial(order, l) * dense.Count(l, rank)
+}
+
+// CCSSLevel returns c_css(l; N, R) per IOU non-zero: (2l-1)·C(N,l)·R^l
+// (paper §III-D, from [12]).
+func CCSSLevel(l, order, rank int) int64 {
+	return int64(2*l-1) * dense.Binomial(order, l) * dense.Pow64(int64(rank), l)
+}
+
+// CSPTotal returns C^SP for one S³TTMc: Σ_{l=2}^{N-1} c_sp(l) + 2·N·S_{N-1,R}
+// accumulation flops, all times unnz.
+func CSPTotal(order, rank int, unnz int64) int64 {
+	var per int64
+	for l := 2; l <= order-1; l++ {
+		per = satAdd(per, CSPLevel(l, order, rank))
+	}
+	per = satAdd(per, int64(2*order)*dense.Count(order-1, rank))
+	return satMul(per, unnz)
+}
+
+// CCSSTotal returns C^CSS analogously with full intermediates.
+func CCSSTotal(order, rank int, unnz int64) int64 {
+	var per int64
+	for l := 2; l <= order-1; l++ {
+		per = satAdd(per, CCSSLevel(l, order, rank))
+	}
+	per = satAdd(per, int64(2*order)*dense.Pow64(int64(rank), order-1))
+	return satMul(per, unnz)
+}
+
+// HOQRINaryCost returns the original HOQRI n-ary contraction cost
+// O(R^N·N!·nnz) of [14] (paper Table II), with nnz the IOU count.
+func HOQRINaryCost(order, rank int, unnz int64) int64 {
+	return satMul(satMul(dense.Pow64(int64(rank), order), dense.Factorial(order)), unnz)
+}
+
+// SVDCost returns HOOI's SVD complexity O(I·R^{N-1}·min(I, R^{N-1})).
+func SVDCost(order, rank int, dim int64) int64 {
+	cols := dense.Pow64(int64(rank), order-1)
+	small := dim
+	if cols < small {
+		small = cols
+	}
+	return satMul(satMul(dim, cols), small)
+}
+
+// TCCost returns HOQRI-SymProp's times-core complexity O(I·S_{N-1,R}·R)
+// (two matrix products; paper §V-C).
+func TCCost(order, rank int, dim int64) int64 {
+	return satMul(satMul(dim, dense.Count(order-1, rank)), int64(rank))
+}
+
+// QRCost returns HOQRI's QR complexity O(I·R²).
+func QRCost(rank int, dim int64) int64 {
+	return satMul(dim, int64(rank)*int64(rank))
+}
+
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s < a || s < b {
+		return 1 << 62
+	}
+	return s
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/a != b || p < 0 {
+		return 1 << 62
+	}
+	return p
+}
+
+// ReductionRatio returns R^l / S_{l,R}, the per-level computation reduction
+// SymProp achieves (paper §III-D: approaches l! as R grows).
+func ReductionRatio(l, rank int) float64 {
+	return float64(dense.Pow64(int64(rank), l)) / float64(dense.Count(l, rank))
+}
+
+// WriteTable2 prints the Table II complexity comparison evaluated on the
+// given shape, plus the per-level reduction ratios.
+func WriteTable2(w io.Writer, order, rank int, dim, unnz int64) {
+	fmt.Fprintf(w, "Table II: Tucker decomposition algorithm complexities (N=%d, R=%d, I=%d, unnz=%d)\n", order, rank, dim, unnz)
+	fmt.Fprintf(w, "%-16s %-28s %16s\n", "Algorithm", "Formula", "flops (model)")
+	csp := CSPTotal(order, rank, unnz)
+	ccss := CCSSTotal(order, rank, unnz)
+	fmt.Fprintf(w, "%-16s %-28s %16d\n", "HOOI-CSS", "C^CSS + O(I R^{N-1} min)", satAdd(ccss, SVDCost(order, rank, dim)))
+	fmt.Fprintf(w, "%-16s %-28s %16d\n", "HOOI-SymProp", "C^SP + O(I R^{N-1} min)", satAdd(csp, SVDCost(order, rank, dim)))
+	fmt.Fprintf(w, "%-16s %-28s %16d\n", "HOQRI [14]", "O(R^N N! nnz)", HOQRINaryCost(order, rank, unnz))
+	fmt.Fprintf(w, "%-16s %-28s %16d\n", "HOQRI-SymProp", "C^SP + O(I S_{N-1,R} R)", satAdd(csp, satAdd(TCCost(order, rank, dim), QRCost(rank, dim))))
+	fmt.Fprintf(w, "\nPer-level reduction R^l/S_{l,R} (-> l! as R -> inf):\n")
+	for l := 2; l <= order-1; l++ {
+		fmt.Fprintf(w, "  level %2d: %8.2f (l! = %d)\n", l, ReductionRatio(l, rank), dense.Factorial(l))
+	}
+	fmt.Fprintf(w, "\nC^SP/C^CSS overall: %.3fx fewer flops for SymProp\n",
+		float64(ccss)/float64(csp))
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/symprop/symprop/internal/hypergraph"
+)
+
+// Profile selects the scale of every experiment. ProfileQuick shrinks each
+// dataset so the whole suite regenerates on a laptop within minutes under
+// the default 2 GiB memory budget, preserving the qualitative shapes
+// (who wins, where methods OOM). ProfilePaper uses the published Table III
+// parameters and is sized for a 256 GB node.
+type Profile string
+
+const (
+	// ProfileQuick is the laptop-scale default.
+	ProfileQuick Profile = "quick"
+	// ProfilePaper uses the published Table III parameters.
+	ProfilePaper Profile = "paper"
+	// ProfileTest is a micro profile for smoke tests: every experiment
+	// completes in well under a second.
+	ProfileTest Profile = "test"
+)
+
+// ParseProfile validates a profile name.
+func ParseProfile(s string) (Profile, error) {
+	switch Profile(s) {
+	case ProfileQuick, ProfilePaper, ProfileTest, "":
+		if s == "" {
+			return ProfileQuick, nil
+		}
+		return Profile(s), nil
+	default:
+		return "", fmt.Errorf("bench: unknown profile %q (want quick or paper)", s)
+	}
+}
+
+// Datasets returns the Table III dataset list at the profile's scale.
+func (p Profile) Datasets() []hypergraph.DatasetSpec {
+	if p == ProfilePaper {
+		return hypergraph.TableIII()
+	}
+	if p == ProfileTest {
+		quick := []struct {
+			name     string
+			dim, nnz int
+		}{
+			{"6D", 20, 30}, {"7D", 20, 30}, {"10D", 20, 10}, {"12D", 20, 10},
+			{"contact-school", 30, 40}, {"trivago-clicks", 40, 40},
+			{"walmart-trips", 30, 20}, {"stackoverflow", 40, 30},
+			{"amazon-reviews", 30, 15},
+		}
+		out := make([]hypergraph.DatasetSpec, 0, len(quick))
+		for _, q := range quick {
+			d, err := hypergraph.Lookup(q.name)
+			if err != nil {
+				panic(err)
+			}
+			d.Dim = q.dim
+			d.UNNZ = q.nnz
+			if d.Rank > 4 {
+				d.Rank = 4
+			}
+			if d.Communities > q.dim/4 {
+				d.Communities = q.dim / 4
+			}
+			out = append(out, d)
+		}
+		return out
+	}
+	// Quick profile: hand-tuned scaled versions. Order and rank are always
+	// preserved (they drive the algorithmic comparisons); dim and unnz are
+	// shrunk so S³TTMc-SP runs in roughly a second per dataset.
+	quick := []struct {
+		name     string
+		dim, nnz int
+	}{
+		{"6D", 100, 2000},
+		{"7D", 200, 5000},
+		{"10D", 400, 500},
+		{"12D", 400, 1000},
+		{"contact-school", 245, 3000},
+		{"trivago-clicks", 3000, 5000},
+		{"walmart-trips", 2000, 800},
+		{"stackoverflow", 5000, 4000},
+		{"amazon-reviews", 3000, 2000},
+	}
+	out := make([]hypergraph.DatasetSpec, 0, len(quick))
+	for _, q := range quick {
+		d, err := hypergraph.Lookup(q.name)
+		if err != nil {
+			panic(err) // table and quick list are maintained together
+		}
+		d.Dim = q.dim
+		d.UNNZ = q.nnz
+		if d.Communities > q.dim/4 {
+			d.Communities = q.dim / 4
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// SweepBase returns the base configuration of the Fig. 5 parameter sweeps:
+// the paper uses an order-7 tensor with 10K IOU non-zeros, dimension 400
+// and rank 4; quick shrinks non-zeros and dimension.
+func (p Profile) SweepBase() (order, dim, nnz, rank int) {
+	switch p {
+	case ProfilePaper:
+		return 7, 400, 10_000, 4
+	case ProfileTest:
+		return 5, 20, 30, 3
+	default:
+		return 7, 200, 2000, 4
+	}
+}
+
+// SweepRanks returns the rank sweep points (Fig. 5a).
+func (p Profile) SweepRanks() []int {
+	if p == ProfileTest {
+		return []int{2, 3}
+	}
+	return []int{2, 4, 6, 8, 10, 12, 16, 20}
+}
+
+// SweepOrders returns the order sweep points (Fig. 5b).
+func (p Profile) SweepOrders() []int {
+	if p == ProfileTest {
+		return []int{3, 4}
+	}
+	return []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
+}
+
+// SweepNNZs returns the IOU-count sweep points (Fig. 5c).
+func (p Profile) SweepNNZs() []int {
+	if p == ProfilePaper {
+		return []int{1_000, 10_000, 100_000, 1_000_000}
+	}
+	if p == ProfileTest {
+		return []int{10, 20}
+	}
+	return []int{500, 1000, 2000, 5000, 10_000, 20_000}
+}
+
+// SweepDims returns the dimension-size sweep points (Fig. 5d).
+func (p Profile) SweepDims() []int {
+	if p == ProfilePaper {
+		return []int{100, 1000, 10_000, 100_000}
+	}
+	if p == ProfileTest {
+		return []int{15, 25}
+	}
+	return []int{50, 100, 200, 400, 1000, 2000}
+}
+
+// Reps returns how many timed repetitions each operation gets (the paper
+// averages 10 runs).
+func (p Profile) Reps() int {
+	switch p {
+	case ProfilePaper:
+		return 10
+	case ProfileTest:
+		return 1
+	default:
+		return 3
+	}
+}
+
+// TuckerIters returns the fixed iteration count of the Fig. 7 timing runs
+// (the paper uses 100).
+func (p Profile) TuckerIters() int {
+	switch p {
+	case ProfilePaper:
+		return 100
+	case ProfileTest:
+		return 2
+	default:
+		return 10
+	}
+}
+
+// ConvergenceIters returns the iteration count of the Fig. 9 traces.
+func (p Profile) ConvergenceIters() int {
+	switch p {
+	case ProfilePaper:
+		return 100
+	case ProfileTest:
+		return 3
+	default:
+		return 30
+	}
+}

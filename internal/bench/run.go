@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+)
+
+// Status classifies one measurement, mirroring how the paper's figures
+// annotate bars: a runtime, an OOM marker, or (quick profile only) a skip
+// when the complexity model predicts an impractical single-machine runtime.
+type Status int
+
+// Measurement outcomes.
+const (
+	StatusOK       Status = iota // ran; Seconds is valid
+	StatusOOM                    // exceeded the simulated memory budget
+	StatusSkipSlow               // model-predicted runtime beyond the quick budget
+	StatusError                  // any other failure
+)
+
+// String renders the status the way the figures annotate it.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusOOM:
+		return "OOM"
+	case StatusSkipSlow:
+		return "skip(slow)"
+	default:
+		return "error"
+	}
+}
+
+// Measurement is one timed kernel invocation.
+type Measurement struct {
+	Kernel  string
+	Dataset string
+	Seconds float64
+	Status  Status
+	Err     error
+}
+
+// Format renders the measurement cell for tables.
+func (m Measurement) Format() string {
+	switch m.Status {
+	case StatusOK:
+		return fmt.Sprintf("%.4gs", m.Seconds)
+	case StatusOOM:
+		return "OOM"
+	case StatusSkipSlow:
+		return "skip(slow)"
+	default:
+		return "ERR"
+	}
+}
+
+// quickFlopBudget bounds the model-predicted flop count a quick-profile
+// measurement may attempt; beyond it the kernel is reported as skip(slow)
+// rather than stalling the suite. The paper profile never skips.
+const quickFlopBudget = int64(4e10)
+
+func (p Profile) flopBudget() int64 {
+	if p == ProfilePaper {
+		return 1 << 62
+	}
+	return quickFlopBudget
+}
+
+// timeOp runs f once untimed (warm-up: plan caches, allocator, page
+// faults), then reps timed runs, returning the mean seconds and classifying
+// OOM via the memory guard's sentinel.
+func timeOp(reps int, f func() error) Measurement {
+	if err := f(); err != nil {
+		if errors.Is(err, memguard.ErrOutOfMemory) {
+			return Measurement{Status: StatusOOM, Err: err}
+		}
+		return Measurement{Status: StatusError, Err: err}
+	}
+	return timeOpNoWarmup(reps, f)
+}
+
+// timeOpNoWarmup times without a warm-up pass — for long multi-sweep runs
+// (the Tucker comparisons) whose first-call effects are amortized
+// internally and whose single run is expensive.
+func timeOpNoWarmup(reps int, f func() error) Measurement {
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			if errors.Is(err, memguard.ErrOutOfMemory) {
+				return Measurement{Status: StatusOOM, Err: err}
+			}
+			return Measurement{Status: StatusError, Err: err}
+		}
+		total += time.Since(start)
+	}
+	return Measurement{Status: StatusOK, Seconds: total.Seconds() / float64(reps)}
+}
+
+// randomU returns the dense factor used by the operation benchmarks; the
+// paper initializes U randomly and non-symmetrically.
+func randomU(dim, rank int, seed int64) *linalg.Matrix {
+	return linalg.RandomNormal(dim, rank, rand.New(rand.NewSource(seed)))
+}
+
+// table prints an aligned table: header row then rows of cells.
+func table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(header)
+	rule := make([]string, len(header))
+	for i := range rule {
+		rule[i] = dashes(widths[i])
+	}
+	printRow(rule)
+	for _, r := range rows {
+		printRow(r)
+	}
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// speedup formats a ratio "a/b" guarding division by zero and non-OK cells.
+func speedup(slow, fast Measurement) string {
+	if slow.Status != StatusOK || fast.Status != StatusOK ||
+		slow.Seconds == 0 || fast.Seconds == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", slow.Seconds/fast.Seconds)
+}
+
+// satBytes64 adds byte counts with saturation.
+func satBytes64(a, b int64) int64 {
+	s := a + b
+	if s < 0 || a < 0 || b < 0 {
+		return 1 << 62
+	}
+	return s
+}

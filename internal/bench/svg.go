@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/symprop/symprop/internal/plot"
+)
+
+// SVG figure emission: when a directory is set (CLI -svgdir), the sweep and
+// convergence experiments also save their data as SVG line charts —
+// regenerating the paper's figures as figures.
+
+var svgState struct {
+	sync.Mutex
+	dir string
+}
+
+// SetSVGDir enables SVG figure output into dir ("" disables).
+func SetSVGDir(dir string) {
+	svgState.Lock()
+	svgState.dir = dir
+	svgState.Unlock()
+}
+
+// emitChart saves the chart when SVG output is enabled, reporting the path
+// (or error) on w. Chart failures never fail the experiment.
+func emitChart(w io.Writer, c *plot.Chart, filename string) {
+	svgState.Lock()
+	dir := svgState.dir
+	svgState.Unlock()
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, filename)
+	if err := c.Save(path); err != nil {
+		fmt.Fprintf(w, "(svg: %v)\n", err)
+		return
+	}
+	fmt.Fprintf(w, "(svg figure written to %s)\n", path)
+}
+
+// Fixed palette slots per kernel identity — a kernel keeps its color in
+// every figure (color follows the entity).
+const (
+	slotSymProp   = 0
+	slotSymPropTC = 1
+	slotCSS       = 2
+	slotSPLATT    = 3
+	slotHOOI      = 4
+	slotHOQRI     = 5
+)
+
+// secondsOrGap converts a measurement to a chart point: non-OK outcomes
+// (OOM, skip) become NaN, which the plotter renders as a line break.
+func secondsOrGap(m Measurement) float64 {
+	if m.Status != StatusOK {
+		return math.NaN()
+	}
+	return m.Seconds
+}
+
+// CSV emission: when a directory is set (CLI -csvdir), every experiment
+// table is also written as a CSV file for downstream analysis/plotting.
+
+var csvState struct {
+	sync.Mutex
+	dir string
+}
+
+// SetCSVDir enables CSV table output into dir ("" disables).
+func SetCSVDir(dir string) {
+	csvState.Lock()
+	csvState.dir = dir
+	csvState.Unlock()
+}
+
+// emitTable prints the aligned text table and, when enabled, writes
+// name.csv with the same data.
+func emitTable(w io.Writer, name string, header []string, rows [][]string) {
+	table(w, header, rows)
+	csvState.Lock()
+	dir := csvState.dir
+	csvState.Unlock()
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name+".csv")
+	if err := writeCSV(path, header, rows); err != nil {
+		fmt.Fprintf(w, "(csv: %v)\n", err)
+		return
+	}
+	fmt.Fprintf(w, "(csv table written to %s)\n", path)
+}
+
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(f)
+	if err := cw.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,200 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// rank1SymmetricTensor builds a sparse tensor from lambda * v^{⊗order} by
+// keeping entries above a threshold (the tensor is dense in principle;
+// small dims keep it complete).
+func rank1SymmetricTensor(t *testing.T, v []float64, order int, lambda float64) *spsym.Tensor {
+	t.Helper()
+	dim := len(v)
+	x := spsym.New(order, dim)
+	idx := make([]int, order)
+	var fill func(depth, start int)
+	fill = func(depth, start int) {
+		if depth == order {
+			p := lambda
+			for _, i := range idx {
+				p *= v[i]
+			}
+			if p != 0 {
+				x.Append(idx, p)
+			}
+			return
+		}
+		for i := start; i < dim; i++ {
+			idx[depth] = i
+			fill(depth+1, i)
+		}
+	}
+	fill(0, 0)
+	x.Canonicalize()
+	return x
+}
+
+// A symmetric rank-1 tensor must be recovered to near machine precision.
+func TestCPRecoversRank1(t *testing.T) {
+	v := []float64{0.5, -1.0, 2.0, 0.25}
+	x := rank1SymmetricTensor(t, v, 3, 2.0)
+	res, err := Decompose(x, Options{Rank: 1, MaxIters: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit := res.FinalFit(); fit < 0.9999 {
+		t.Fatalf("rank-1 fit = %v, want ~1", fit)
+	}
+	// Reconstruction check at a few entries.
+	for _, idx := range [][]int{{0, 1, 2}, {3, 3, 3}, {1, 1, 2}} {
+		want := 2.0
+		for _, i := range idx {
+			want *= v[i]
+		}
+		if got := res.EvalApprox(idx); math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Errorf("X̂(%v) = %v, want %v", idx, got, want)
+		}
+	}
+}
+
+func TestCPRankTwoImprovesOverRankOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// A rank-2 symmetric tensor.
+	v1 := make([]float64, 6)
+	v2 := make([]float64, 6)
+	for i := range v1 {
+		v1[i] = rng.NormFloat64()
+		v2[i] = rng.NormFloat64()
+	}
+	x1 := rank1SymmetricTensor(t, v1, 3, 1.0)
+	x2 := rank1SymmetricTensor(t, v2, 3, 0.5)
+	// Sum the two tensors.
+	for k := 0; k < x2.NNZ(); k++ {
+		tuple := x2.IndexAt(k)
+		idx := []int{int(tuple[0]), int(tuple[1]), int(tuple[2])}
+		x1.Append(idx, x2.Values[k])
+	}
+	x1.Canonicalize()
+
+	r1, err := Decompose(x1, Options{Rank: 1, MaxIters: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Decompose(x1, Options{Rank: 2, MaxIters: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.FinalFit() < r1.FinalFit()-1e-9 {
+		t.Errorf("rank-2 fit %v worse than rank-1 fit %v", r2.FinalFit(), r1.FinalFit())
+	}
+	if r2.FinalFit() < 0.99 {
+		t.Errorf("rank-2 fit = %v, want ~1 on a rank-2 tensor", r2.FinalFit())
+	}
+}
+
+// MTTKRP must match brute force over the expanded non-zeros.
+func TestMTTKRPAgainstExpansion(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		x, err := spsym.Random(spsym.RandomOptions{Order: 4, Dim: 6, NNZ: 12, Seed: seed, Values: spsym.ValueNormal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := linalg.RandomNormal(6, 3, rand.New(rand.NewSource(seed+10)))
+		got := MTTKRP(x, u, 0)
+
+		want := linalg.NewMatrix(6, 3)
+		x.ForEachExpanded(func(idx []int32, val float64) {
+			row := want.Row(int(idx[0]))
+			for c := 0; c < 3; c++ {
+				p := val
+				for _, v := range idx[1:] {
+					p *= u.At(int(v), c)
+				}
+				row[c] += p
+			}
+		})
+		if d := linalg.MaxAbsDiff(got, want); d > 1e-10 {
+			t.Errorf("seed %d: MTTKRP differs from expansion by %v", seed, d)
+		}
+	}
+}
+
+func TestMTTKRPWorkersAgree(t *testing.T) {
+	x, err := spsym.Random(spsym.RandomOptions{Order: 3, Dim: 10, NNZ: 40, Seed: 7, Values: spsym.ValueNormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := linalg.RandomNormal(10, 4, rand.New(rand.NewSource(8)))
+	a := MTTKRP(x, u, 1)
+	b := MTTKRP(x, u, 4)
+	if d := linalg.MaxAbsDiff(a, b); d > 1e-10 {
+		t.Errorf("worker counts disagree by %v", d)
+	}
+}
+
+func TestCPValidation(t *testing.T) {
+	x, _ := spsym.Random(spsym.RandomOptions{Order: 3, Dim: 5, NNZ: 8, Seed: 1})
+	if _, err := Decompose(x, Options{Rank: 0}); err == nil {
+		t.Error("rank 0 must fail")
+	}
+	x1 := spsym.New(1, 5)
+	x1.Append([]int{2}, 1)
+	if _, err := Decompose(x1, Options{Rank: 2}); err == nil {
+		t.Error("order-1 tensor must fail")
+	}
+}
+
+func TestCPFitBounded(t *testing.T) {
+	x, err := spsym.Random(spsym.RandomOptions{Order: 3, Dim: 12, NNZ: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decompose(x, Options{Rank: 3, MaxIters: 25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Fit {
+		if f < -1e-9 || f > 1+1e-9 {
+			t.Errorf("fit[%d] = %v out of [0,1]", i, f)
+		}
+	}
+	// Unit-norm columns.
+	for c := 0; c < res.U.Cols; c++ {
+		var n float64
+		for i := 0; i < res.U.Rows; i++ {
+			v := res.U.At(i, c)
+			n += v * v
+		}
+		if math.Abs(n-1) > 1e-9 {
+			t.Errorf("column %d norm² = %v, want 1", c, n)
+		}
+	}
+}
+
+func TestCPToleranceStops(t *testing.T) {
+	v := []float64{1, 2, 3}
+	x := rank1SymmetricTensor(t, v, 3, 1)
+	res, err := Decompose(x, Options{Rank: 1, MaxIters: 500, Tol: 1e-10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iters >= 500 {
+		t.Errorf("expected early convergence, got %d iters (converged=%v)", res.Iters, res.Converged)
+	}
+}
+
+func TestHadamardPower(t *testing.T) {
+	a := linalg.NewMatrixFrom(2, 2, []float64{2, -1, 3, 0.5})
+	p := hadamardPower(a, 3)
+	want := []float64{8, -1, 27, 0.125}
+	for i := range want {
+		if p.Data[i] != want[i] {
+			t.Fatalf("hadamardPower = %v, want %v", p.Data, want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package dense
+
+import "fmt"
+
+// BCSS implements the Blocked Compact Symmetric Storage of Schatz et al.
+// [15] (paper §VII related work): the index space [0,Dim)^Order is tiled
+// into blocks of edge Block, only index-ordered-unique *block* tuples are
+// stored, and each stored block is a full dense Block^Order brick. Blocks
+// that sit on the "diagonal" (repeated block coordinates) carry redundant
+// padding entries, trading storage for perfectly regular dense inner loops
+// — the design alternative to this module's exactly-compact linear layout,
+// benchmarked by the storage ablation.
+type BCSS struct {
+	Order int
+	Dim   int
+	Block int
+	// nb is the number of blocks per mode (Block must divide Dim).
+	nb int
+	// blockSize is Block^Order, the dense brick size.
+	blockSize int64
+}
+
+// NewBCSS validates and returns a BCSS layout descriptor.
+func NewBCSS(order, dim, block int) (*BCSS, error) {
+	if order < 1 || order > MaxOrder {
+		return nil, fmt.Errorf("dense: BCSS order %d out of range", order)
+	}
+	if block < 1 || dim < 1 || dim%block != 0 {
+		return nil, fmt.Errorf("dense: BCSS block %d must divide dim %d", block, dim)
+	}
+	return &BCSS{
+		Order:     order,
+		Dim:       dim,
+		Block:     block,
+		nb:        dim / block,
+		blockSize: Pow64(int64(block), order),
+	}, nil
+}
+
+// NumBlocks returns the stored (IOU) block-tuple count.
+func (l *BCSS) NumBlocks() int64 { return Count(l.Order, l.nb) }
+
+// Size returns the total stored float count including padding.
+func (l *BCSS) Size() int64 { return l.NumBlocks() * l.blockSize }
+
+// Overhead returns the storage ratio against the exactly compact layout
+// (1.0 = no padding; grows as Block grows relative to Dim).
+func (l *BCSS) Overhead() float64 {
+	return float64(l.Size()) / float64(Count(l.Order, l.Dim))
+}
+
+// Offset returns the storage offset of the (not necessarily IOU) global
+// index tuple idx, which must have non-decreasing *block* coordinates.
+// For sorted idx this always holds.
+func (l *BCSS) Offset(idx []int) int64 {
+	blocks := make([]int, len(idx))
+	for i, v := range idx {
+		blocks[i] = v / l.Block
+	}
+	off := Rank(blocks, l.nb) * l.blockSize
+	// In-block linearization, last index fastest.
+	var lin int64
+	for _, v := range idx {
+		lin = lin*int64(l.Block) + int64(v%l.Block)
+	}
+	return off + lin
+}
+
+// OuterAccumBCSS performs one Algorithm-1 term on BCSS storage: dst is the
+// order-l BCSS buffer, src the order-(l-1) buffer with the same Dim/Block,
+// and u a factor row of length Dim. For every stored (IOU) block tuple the
+// inner loops are fully dense — no per-element index logic, the regularity
+// BCSS buys with padding.
+func OuterAccumBCSS(dstLayout, srcLayout *BCSS, dst, src, u []float64) {
+	l := dstLayout.Order
+	b := dstLayout.Block
+	srcBlockSize := srcLayout.blockSize
+	// Enumerate stored block tuples; the per-tuple Rank cost is amortized
+	// over the Block^l dense brick work.
+	ForEachIOU(l, dstLayout.nb, func(bt []int) {
+		dstBase := Rank(bt, dstLayout.nb) * dstLayout.blockSize
+		srcBase := Rank(bt[:l-1], srcLayout.nb) * srcBlockSize
+		uSeg := u[bt[l-1]*b : bt[l-1]*b+b]
+		pos := dstBase
+		for p := int64(0); p < srcBlockSize; p++ {
+			s := src[srcBase+p]
+			for j := 0; j < b; j++ {
+				dst[pos] += uSeg[j] * s
+				pos++
+			}
+		}
+	})
+}
+
+// ToCompact extracts the exactly compact representation from a BCSS buffer
+// (reading each IOU entry once; padded duplicates are ignored).
+func (l *BCSS) ToCompact(bcss []float64) []float64 {
+	out := make([]float64, Count(l.Order, l.Dim))
+	i := 0
+	ForEachIOU(l.Order, l.Dim, func(idx []int) {
+		out[i] = bcss[l.Offset(idx)]
+		i++
+	})
+	return out
+}
+
+// FromCompact expands a compact buffer into BCSS storage, filling padded
+// positions with their symmetric duplicates.
+func (l *BCSS) FromCompact(compact []float64) []float64 {
+	out := make([]float64, l.Size())
+	idx := make([]int, l.Order)
+	sorted := make([]int, l.Order)
+	// Iterate all stored positions: IOU block tuples x full bricks.
+	ForEachIOU(l.Order, l.nb, func(bt []int) {
+		base := Rank(bt, l.nb) * l.blockSize
+		// Enumerate the brick.
+		for p := int64(0); p < l.blockSize; p++ {
+			rem := p
+			for a := l.Order - 1; a >= 0; a-- {
+				idx[a] = bt[a]*l.Block + int(rem%int64(l.Block))
+				rem /= int64(l.Block)
+			}
+			copy(sorted, idx)
+			SortIndex(sorted)
+			out[base+p] = compact[Rank(sorted, l.Dim)]
+		}
+	})
+	return out
+}

@@ -1,0 +1,167 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewBCSSValidation(t *testing.T) {
+	if _, err := NewBCSS(3, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []struct{ order, dim, block int }{
+		{0, 8, 2}, {MaxOrder + 1, 8, 2}, {3, 8, 3}, {3, 8, 0}, {3, 0, 1},
+	} {
+		if _, err := NewBCSS(bad.order, bad.dim, bad.block); err == nil {
+			t.Errorf("NewBCSS(%v) should fail", bad)
+		}
+	}
+}
+
+func TestBCSSSizeAndOverhead(t *testing.T) {
+	// Block 1: no padding, identical to compact.
+	l1, err := NewBCSS(3, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Size() != Count(3, 6) {
+		t.Errorf("block-1 size %d, want %d", l1.Size(), Count(3, 6))
+	}
+	if l1.Overhead() != 1 {
+		t.Errorf("block-1 overhead %v, want 1", l1.Overhead())
+	}
+	// Block = dim: one full brick.
+	lFull, err := NewBCSS(3, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lFull.Size() != 216 {
+		t.Errorf("full-block size %d, want 216", lFull.Size())
+	}
+	if lFull.Overhead() <= 1 {
+		t.Error("full-block overhead should exceed 1")
+	}
+	// Overhead shrinks as blocks shrink.
+	l2, _ := NewBCSS(3, 6, 2)
+	l3, _ := NewBCSS(3, 6, 3)
+	if !(l2.Overhead() < l3.Overhead() && l3.Overhead() < lFull.Overhead()) {
+		t.Errorf("overhead not monotone: %v %v %v", l2.Overhead(), l3.Overhead(), lFull.Overhead())
+	}
+}
+
+func TestBCSSCompactRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ order, dim, block int }{
+		{2, 6, 2}, {3, 6, 3}, {3, 4, 2}, {4, 4, 2}, {2, 5, 5},
+	} {
+		l, err := NewBCSS(tc.order, tc.dim, tc.block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compact := make([]float64, Count(tc.order, tc.dim))
+		for i := range compact {
+			compact[i] = rng.NormFloat64()
+		}
+		back := l.ToCompact(l.FromCompact(compact))
+		for i := range compact {
+			if back[i] != compact[i] {
+				t.Fatalf("%+v: round trip differs at %d", tc, i)
+			}
+		}
+	}
+}
+
+// FromCompact must place the symmetric duplicate at every padded position.
+func TestBCSSPaddingConsistent(t *testing.T) {
+	l, err := NewBCSS(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact := make([]float64, Count(2, 4))
+	for i := range compact {
+		compact[i] = float64(i + 1)
+	}
+	buf := l.FromCompact(compact)
+	// Entry (1,0) lives in block (0,0) at padded position; must equal (0,1).
+	if buf[l.Offset([]int{1, 0})] != buf[l.Offset([]int{0, 1})] {
+		t.Error("padded duplicate differs from IOU value")
+	}
+}
+
+// The BCSS outer product must agree with the compact kernel after
+// extraction — the correctness half of the storage ablation.
+func TestOuterAccumBCSSMatchesCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ order, dim, block int }{
+		{2, 6, 2}, {3, 6, 2}, {3, 6, 3}, {4, 4, 2}, {5, 4, 2}, {3, 6, 6},
+	} {
+		dstL, err := NewBCSS(tc.order, tc.dim, tc.block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcL, err := NewBCSS(tc.order-1, tc.dim, tc.block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcCompact := make([]float64, Count(tc.order-1, tc.dim))
+		for i := range srcCompact {
+			srcCompact[i] = rng.NormFloat64()
+		}
+		u := make([]float64, tc.dim)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+
+		want := make([]float64, Count(tc.order, tc.dim))
+		OuterAccum(tc.order, want, srcCompact, u, tc.dim)
+
+		dst := make([]float64, dstL.Size())
+		OuterAccumBCSS(dstL, srcL, dst, srcL.FromCompact(srcCompact), u)
+		got := dstL.ToCompact(dst)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("%+v: entry %d = %v, want %v", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Repeated application (a two-level chain) must also agree, exercising the
+// case where the BCSS source itself came from a BCSS outer product with
+// padded entries populated by the kernel rather than FromCompact.
+func TestOuterAccumBCSSChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dim, block := 6, 3
+	u1 := make([]float64, dim)
+	u2 := make([]float64, dim)
+	base := make([]float64, dim) // order-1 "compact" = plain vector
+	for i := 0; i < dim; i++ {
+		u1[i] = rng.NormFloat64()
+		u2[i] = rng.NormFloat64()
+		base[i] = rng.NormFloat64()
+	}
+
+	// Compact chain: order1 -> order2 -> order3.
+	c2 := make([]float64, Count(2, dim))
+	OuterAccum(2, c2, base, u1, dim)
+	c3 := make([]float64, Count(3, dim))
+	OuterAccum(3, c3, c2, u2, dim)
+
+	// BCSS chain.
+	l1, _ := NewBCSS(1, dim, block)
+	l2, _ := NewBCSS(2, dim, block)
+	l3, _ := NewBCSS(3, dim, block)
+	b1 := l1.FromCompact(base)
+	b2 := make([]float64, l2.Size())
+	OuterAccumBCSS(l2, l1, b2, b1, u1)
+	b3 := make([]float64, l3.Size())
+	OuterAccumBCSS(l3, l2, b3, b2, u2)
+
+	got := l3.ToCompact(b3)
+	for i := range c3 {
+		if math.Abs(got[i]-c3[i]) > 1e-12 {
+			t.Fatalf("chained BCSS differs at %d: %v vs %v", i, got[i], c3[i])
+		}
+	}
+}

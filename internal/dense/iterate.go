@@ -1,0 +1,133 @@
+package dense
+
+// This file holds the runtime-dispatched iteration strategies over the
+// compact symmetric layout. The fast path dispatches to fully unrolled loop
+// nests in iterate_gen.go (produced by tools/geniterate — the Go analog of
+// the paper's C++ template metaprogramming, §III-C.3). The recursive and
+// boundary-trace strategies exist for orders beyond MaxGenOrder and for the
+// §VI-B.4 index-iteration ablation, respectively.
+
+// ForEachIOU invokes f for every IOU tuple (j1 <= ... <= jOrder, values in
+// [0, dim)) in lexicographic order, i.e. in increasing compact-layout
+// offset. The tuple slice is reused between calls; f must not retain it.
+func ForEachIOU(order, dim int, f func(idx []int)) {
+	if order <= MaxGenOrder {
+		forEachIOUGen(order, dim, f)
+		return
+	}
+	idx := make([]int, order)
+	forEachIOURec(order, dim, 0, 0, idx, f)
+}
+
+// ForEachIOURecursive is the pure recursive-closure strategy, exported for
+// the index-iteration ablation benchmarks.
+func ForEachIOURecursive(order, dim int, f func(idx []int)) {
+	idx := make([]int, order)
+	forEachIOURec(order, dim, 0, 0, idx, f)
+}
+
+func forEachIOURec(order, dim, depth, start int, idx []int, f func(idx []int)) {
+	if depth == order {
+		f(idx)
+		return
+	}
+	for j := start; j < dim; j++ {
+		idx[depth] = j
+		forEachIOURec(order, dim, depth+1, j, idx, f)
+	}
+}
+
+// ForEachIOUBoundaryTrace iterates the compact layout with the coupled
+// for/while boundary-tracing scheme of Ballard et al. [16]: advance a single
+// multi-index by incrementing the rightmost position that has not hit the
+// dimension boundary and resetting everything to its right. This is the
+// baseline the paper's metaprogramming approach is measured against.
+func ForEachIOUBoundaryTrace(order, dim int, f func(idx []int)) {
+	if dim <= 0 || order <= 0 {
+		if order == 0 {
+			f(nil)
+		}
+		return
+	}
+	idx := make([]int, order)
+	for {
+		f(idx)
+		// Trace back over positions that sit at the boundary dim-1.
+		a := order - 1
+		for a >= 0 && idx[a] == dim-1 {
+			a--
+		}
+		if a < 0 {
+			return
+		}
+		idx[a]++
+		v := idx[a]
+		for b := a + 1; b < order; b++ {
+			idx[b] = v
+		}
+	}
+}
+
+// OuterAccum performs one term of paper Algorithm 1: for every IOU tuple
+// (j1 <= ... <= j_order) of the compact order-`order` layout,
+//
+//	dst[loc_l] += u[j_order] * src[loc_{l-1}]
+//
+// where loc_l walks dst (compact order-`order`) and loc_{l-1} walks src
+// (compact order-`order-1`, the prefix tuple). Both walks are sequential,
+// so no index mapping is ever computed. dst and src must have lengths
+// Count(order, dim) and Count(order-1, dim); u must have length >= dim.
+func OuterAccum(order int, dst, src, u []float64, dim int) {
+	if order <= MaxGenOrder {
+		outerAccumGen(order, dst, src, u, dim)
+		return
+	}
+	var locL, locP int
+	outerAccumRec(order, 0, 0, dst, src, u, dim, &locL, &locP)
+}
+
+// OuterAccumRecursive is the recursive-closure variant of OuterAccum,
+// exported for the ablation benchmarks.
+func OuterAccumRecursive(order int, dst, src, u []float64, dim int) {
+	var locL, locP int
+	outerAccumRec(order, 0, 0, dst, src, u, dim, &locL, &locP)
+}
+
+func outerAccumRec(order, depth, start int, dst, src, u []float64, dim int, locL, locP *int) {
+	if depth == order-1 {
+		s := src[*locP]
+		l := *locL
+		for j := start; j < dim; j++ {
+			dst[l] += u[j] * s
+			l++
+		}
+		*locL = l
+		*locP++
+		return
+	}
+	for j := start; j < dim; j++ {
+		outerAccumRec(order, depth+1, j, dst, src, u, dim, locL, locP)
+	}
+}
+
+// OuterAccumIndexMapped is the index-mapping variant used as the ablation
+// baseline: it iterates IOU tuples with boundary tracing and computes the
+// source offset with an explicit Rank call per prefix — the O(N+R) per-entry
+// mapping cost the paper eliminates (§III-C.2).
+func OuterAccumIndexMapped(order int, dst, src, u []float64, dim int) {
+	locL := 0
+	ForEachIOUBoundaryTrace(order, dim, func(idx []int) {
+		locP := Rank(idx[:order-1], dim)
+		dst[locL] += u[idx[order-1]] * src[locP]
+		locL++
+	})
+}
+
+// AxpyCompact accumulates dst += alpha * src over equal-length compact
+// buffers. Shared by the Y-row accumulation in all SymProp kernels.
+func AxpyCompact(alpha float64, src, dst []float64) {
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}

@@ -1,0 +1,211 @@
+package dense
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// collect gathers all tuples an iteration strategy produces.
+func collect(iter func(order, dim int, f func([]int)), order, dim int) [][]int {
+	var out [][]int
+	iter(order, dim, func(idx []int) {
+		c := make([]int, len(idx))
+		copy(c, idx)
+		out = append(out, c)
+	})
+	return out
+}
+
+// All three iteration strategies must visit identical tuples in identical
+// order; this is the correctness half of the §VI-B.4 ablation.
+func TestIterationStrategiesAgree(t *testing.T) {
+	for order := 1; order <= 6; order++ {
+		for dim := 1; dim <= 5; dim++ {
+			gen := collect(ForEachIOU, order, dim)
+			rec := collect(ForEachIOURecursive, order, dim)
+			bt := collect(ForEachIOUBoundaryTrace, order, dim)
+			if !reflect.DeepEqual(gen, rec) {
+				t.Fatalf("order=%d dim=%d: generated vs recursive differ", order, dim)
+			}
+			if !reflect.DeepEqual(gen, bt) {
+				t.Fatalf("order=%d dim=%d: generated vs boundary-trace differ", order, dim)
+			}
+		}
+	}
+}
+
+// Orders beyond MaxGenOrder must fall back to recursion transparently.
+func TestForEachIOUBeyondGenOrder(t *testing.T) {
+	order := MaxGenOrder + 1
+	dim := 2
+	n := 0
+	ForEachIOU(order, dim, func(idx []int) {
+		if len(idx) != order {
+			t.Fatalf("tuple length %d, want %d", len(idx), order)
+		}
+		n++
+	})
+	if int64(n) != Count(order, dim) {
+		t.Fatalf("visited %d tuples, want %d", n, Count(order, dim))
+	}
+}
+
+func TestForEachIOUDegenerate(t *testing.T) {
+	n := 0
+	ForEachIOU(3, 0, func([]int) { n++ })
+	if n != 0 {
+		t.Error("dim=0 should produce no tuples")
+	}
+	n = 0
+	ForEachIOUBoundaryTrace(3, 0, func([]int) { n++ })
+	if n != 0 {
+		t.Error("boundary-trace dim=0 should produce no tuples")
+	}
+	n = 0
+	ForEachIOU(1, 1, func(idx []int) {
+		if idx[0] != 0 {
+			t.Error("single tuple should be (0)")
+		}
+		n++
+	})
+	if n != 1 {
+		t.Error("order=1 dim=1 should produce exactly one tuple")
+	}
+}
+
+// outerReference computes one Algorithm-1 term by brute force: for each IOU
+// tuple j of the order-l layout, dst[Rank(j)] += u[j_l] * src[Rank(j_prefix)].
+func outerReference(order int, dst, src, u []float64, dim int) {
+	ForEachIOU(order, dim, func(idx []int) {
+		dst[Rank(idx, dim)] += u[idx[order-1]] * src[Rank(idx[:order-1], dim)]
+	})
+}
+
+func randomVec(rng *rand.Rand, n int64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestOuterAccumVariantsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for order := 1; order <= 7; order++ {
+		for _, dim := range []int{1, 2, 3, 5, 8} {
+			src := randomVec(rng, Count(order-1, dim))
+			u := randomVec(rng, int64(dim))
+			want := make([]float64, Count(order, dim))
+			outerReference(order, want, src, u, dim)
+
+			for name, fn := range map[string]func(int, []float64, []float64, []float64, int){
+				"generated":   OuterAccum,
+				"recursive":   OuterAccumRecursive,
+				"indexMapped": OuterAccumIndexMapped,
+			} {
+				got := make([]float64, Count(order, dim))
+				fn(order, got, src, u, dim)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s order=%d dim=%d: entry %d = %v, want %v", name, order, dim, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// OuterAccum must accumulate (+=), not overwrite.
+func TestOuterAccumAccumulates(t *testing.T) {
+	dim := 3
+	order := 2
+	src := []float64{1, 2, 3}
+	u := []float64{10, 20, 30}
+	dst := make([]float64, Count(order, dim))
+	for i := range dst {
+		dst[i] = 100
+	}
+	OuterAccum(order, dst, src, u, dim)
+	// First entry is (0,0): 100 + u[0]*src[0] = 110.
+	if dst[0] != 110 {
+		t.Errorf("dst[0] = %v, want 110", dst[0])
+	}
+}
+
+func TestOuterAccumBeyondGenOrder(t *testing.T) {
+	order := MaxGenOrder + 1
+	dim := 2
+	rng := rand.New(rand.NewSource(1))
+	src := randomVec(rng, Count(order-1, dim))
+	u := randomVec(rng, int64(dim))
+	got := make([]float64, Count(order, dim))
+	OuterAccum(order, got, src, u, dim)
+	want := make([]float64, Count(order, dim))
+	outerReference(order, want, src, u, dim)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAxpyCompact(t *testing.T) {
+	src := []float64{1, 2, 3}
+	dst := []float64{10, 20, 30}
+	AxpyCompact(2, src, dst)
+	want := []float64{12, 24, 36}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AxpyCompact = %v, want %v", dst, want)
+		}
+	}
+}
+
+// Exercise every generated specialization (orders 1..MaxGenOrder) against
+// the recursive reference, for both the iterator and the outer-product
+// kernel. Small dims keep the compact sizes tiny even at order 16.
+func TestAllGeneratedOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for order := 1; order <= MaxGenOrder; order++ {
+		for _, dim := range []int{1, 2, 3} {
+			// Iterator agreement.
+			gen := collect(ForEachIOU, order, dim)
+			rec := collect(ForEachIOURecursive, order, dim)
+			if !reflect.DeepEqual(gen, rec) {
+				t.Fatalf("order=%d dim=%d: generated iterator differs from recursive", order, dim)
+			}
+			// Outer-product agreement.
+			src := randomVec(rng, Count(order-1, dim))
+			u := randomVec(rng, int64(dim))
+			want := make([]float64, Count(order, dim))
+			OuterAccumRecursive(order, want, src, u, dim)
+			got := make([]float64, Count(order, dim))
+			OuterAccum(order, got, src, u, dim)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("order=%d dim=%d: generated outer product differs at %d", order, dim, i)
+				}
+			}
+		}
+	}
+}
+
+// The generated dispatchers must reject out-of-range orders loudly.
+func TestGeneratedDispatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("forEachIOUGen beyond MaxGenOrder should panic")
+		}
+	}()
+	forEachIOUGen(MaxGenOrder+1, 2, func([]int) {})
+}
+
+func TestGeneratedOuterDispatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("outerAccumGen beyond MaxGenOrder should panic")
+		}
+	}()
+	outerAccumGen(MaxGenOrder+1, nil, nil, nil, 2)
+}

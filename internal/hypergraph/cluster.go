@@ -1,0 +1,235 @@
+package hypergraph
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/symprop/symprop/internal/linalg"
+)
+
+// KMeans clusters the rows of m into k groups with Lloyd's algorithm and
+// k-means++ seeding, returning one label per row. It is the downstream
+// step of the hypergraph-clustering application the paper's introduction
+// motivates: cluster the rows of the Tucker factor U to recover hypergraph
+// communities.
+func KMeans(m *linalg.Matrix, k int, seed int64, maxIters int) []int {
+	n := m.Rows
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := m.Cols
+
+	// k-means++ seeding.
+	centers := linalg.NewMatrix(k, d)
+	copy(centers.Row(0), m.Row(rng.Intn(n)))
+	dist2 := make([]float64, n)
+	for i := range dist2 {
+		dist2[i] = math.Inf(1)
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for i := 0; i < n; i++ {
+			if d2 := rowDist2(m.Row(i), centers.Row(c-1)); d2 < dist2[i] {
+				dist2[i] = d2
+			}
+			total += dist2[i]
+		}
+		pick := 0
+		if total > 0 {
+			target := rng.Float64() * total
+			for i := 0; i < n; i++ {
+				target -= dist2[i]
+				if target <= 0 {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(n)
+		}
+		copy(centers.Row(c), m.Row(pick))
+	}
+
+	labels := make([]int, n)
+	counts := make([]int, k)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d2 := rowDist2(m.Row(i), centers.Row(c)); d2 < bestD {
+					best, bestD = c, d2
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		centers.Zero()
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := labels[i]
+			counts[c]++
+			crow := centers.Row(c)
+			for j, v := range m.Row(i) {
+				crow[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on a random row.
+				copy(centers.Row(c), m.Row(rng.Intn(n)))
+				continue
+			}
+			crow := centers.Row(c)
+			inv := 1 / float64(counts[c])
+			for j := range crow {
+				crow[j] *= inv
+			}
+		}
+	}
+	return labels
+}
+
+func rowDist2(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NMI returns the normalized mutual information between two labelings in
+// [0, 1] (1 = identical partitions up to renaming), the standard
+// community-detection quality metric. Normalization is by the arithmetic
+// mean of the entropies; degenerate zero-entropy partitions score 1 when
+// both are constant and 0 otherwise.
+func NMI(a, b []int) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	n := float64(len(a))
+	maxOf := func(xs []int) int {
+		m := 0
+		for _, v := range xs {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	ka, kb := maxOf(a)+1, maxOf(b)+1
+	joint := make([][]float64, ka)
+	for i := range joint {
+		joint[i] = make([]float64, kb)
+	}
+	pa := make([]float64, ka)
+	pb := make([]float64, kb)
+	for i := range a {
+		joint[a[i]][b[i]]++
+		pa[a[i]]++
+		pb[b[i]]++
+	}
+	var mi, ha, hb float64
+	for i := 0; i < ka; i++ {
+		if pa[i] > 0 {
+			p := pa[i] / n
+			ha -= p * math.Log(p)
+		}
+		for j := 0; j < kb; j++ {
+			if joint[i][j] == 0 {
+				continue
+			}
+			pij := joint[i][j] / n
+			mi += pij * math.Log(pij*n*n/(pa[i]*pb[j]))
+		}
+	}
+	for j := 0; j < kb; j++ {
+		if pb[j] > 0 {
+			p := pb[j] / n
+			hb -= p * math.Log(p)
+		}
+	}
+	if ha == 0 && hb == 0 {
+		return 1 // both partitions constant
+	}
+	denom := (ha + hb) / 2
+	if denom == 0 {
+		return 0
+	}
+	v := mi / denom
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ClusterAgreement measures how well predicted labels recover planted
+// labels, permutation-invariantly, via greedy confusion-matrix matching.
+// Returns the fraction of correctly assigned items in [0, 1].
+func ClusterAgreement(planted, predicted []int) float64 {
+	if len(planted) == 0 || len(planted) != len(predicted) {
+		return 0
+	}
+	maxOf := func(xs []int) int {
+		m := 0
+		for _, v := range xs {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	kp := maxOf(planted) + 1
+	kq := maxOf(predicted) + 1
+	conf := make([][]int, kp)
+	for i := range conf {
+		conf[i] = make([]int, kq)
+	}
+	for i := range planted {
+		conf[planted[i]][predicted[i]]++
+	}
+	usedP := make([]bool, kp)
+	usedQ := make([]bool, kq)
+	correct := 0
+	for step := 0; step < kp && step < kq; step++ {
+		bi, bj, best := -1, -1, -1
+		for i := 0; i < kp; i++ {
+			if usedP[i] {
+				continue
+			}
+			for j := 0; j < kq; j++ {
+				if usedQ[j] {
+					continue
+				}
+				if conf[i][j] > best {
+					bi, bj, best = i, j, conf[i][j]
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		usedP[bi] = true
+		usedQ[bj] = true
+		correct += best
+	}
+	return float64(correct) / float64(len(planted))
+}

@@ -1,0 +1,120 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/symprop/symprop/internal/linalg"
+)
+
+func TestKMeansSeparatedClusters(t *testing.T) {
+	// Three well-separated Gaussian blobs in 2D.
+	rng := rand.New(rand.NewSource(3))
+	n := 90
+	m := linalg.NewMatrix(n, 2)
+	truth := make([]int, n)
+	centers := [][2]float64{{0, 0}, {10, 0}, {0, 10}}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		truth[i] = c
+		m.Set(i, 0, centers[c][0]+0.3*rng.NormFloat64())
+		m.Set(i, 1, centers[c][1]+0.3*rng.NormFloat64())
+	}
+	labels := KMeans(m, 3, 7, 100)
+	if acc := ClusterAgreement(truth, labels); acc < 0.99 {
+		t.Errorf("separated blobs recovered with accuracy %v, want ~1", acc)
+	}
+}
+
+func TestKMeansDegenerateK(t *testing.T) {
+	m := linalg.NewMatrixFrom(4, 1, []float64{1, 2, 3, 4})
+	if labels := KMeans(m, 0, 1, 10); len(labels) != 4 {
+		t.Error("k<1 should clamp to 1")
+	}
+	labels := KMeans(m, 10, 1, 10)
+	if len(labels) != 4 {
+		t.Error("k>n should clamp to n")
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 4 {
+			t.Errorf("label %d out of range", l)
+		}
+	}
+}
+
+func TestKMeansIdenticalRows(t *testing.T) {
+	m := linalg.NewMatrix(5, 3) // all zero rows
+	labels := KMeans(m, 2, 1, 20)
+	if len(labels) != 5 {
+		t.Fatal("wrong label count")
+	}
+}
+
+func TestClusterAgreementExact(t *testing.T) {
+	planted := []int{0, 0, 1, 1, 2, 2}
+	// Same partition, permuted label names.
+	predicted := []int{2, 2, 0, 0, 1, 1}
+	if acc := ClusterAgreement(planted, predicted); acc != 1 {
+		t.Errorf("permuted labels should score 1, got %v", acc)
+	}
+}
+
+func TestClusterAgreementPartial(t *testing.T) {
+	planted := []int{0, 0, 1, 1}
+	predicted := []int{0, 1, 1, 1}
+	if acc := ClusterAgreement(planted, predicted); acc != 0.75 {
+		t.Errorf("agreement = %v, want 0.75", acc)
+	}
+}
+
+func TestClusterAgreementDegenerate(t *testing.T) {
+	if ClusterAgreement(nil, nil) != 0 {
+		t.Error("empty input should score 0")
+	}
+	if ClusterAgreement([]int{0}, []int{0, 1}) != 0 {
+		t.Error("length mismatch should score 0")
+	}
+}
+
+func TestNMIIdenticalPartitions(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{2, 2, 0, 0, 1, 1} // same partition, renamed
+	if v := NMI(a, b); v < 0.999 {
+		t.Errorf("NMI of identical partitions = %v, want 1", v)
+	}
+}
+
+func TestNMIIndependentPartitions(t *testing.T) {
+	// A perfectly crossed design: NMI should be ~0.
+	a := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	b := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	if v := NMI(a, b); v > 1e-9 {
+		t.Errorf("NMI of independent partitions = %v, want 0", v)
+	}
+}
+
+func TestNMIDegenerate(t *testing.T) {
+	if NMI(nil, nil) != 0 {
+		t.Error("empty input should score 0")
+	}
+	if NMI([]int{0}, []int{0, 1}) != 0 {
+		t.Error("length mismatch should score 0")
+	}
+	// Both constant: identical by convention.
+	if NMI([]int{0, 0, 0}, []int{1, 1, 1}) != 1 {
+		t.Error("two constant partitions should score 1")
+	}
+	// One constant, one not: zero information shared.
+	if v := NMI([]int{0, 0, 0, 0}, []int{0, 1, 0, 1}); v != 0 {
+		t.Errorf("constant vs non-constant = %v, want 0", v)
+	}
+}
+
+func TestNMIPartialOverlap(t *testing.T) {
+	a := []int{0, 0, 0, 1, 1, 1}
+	b := []int{0, 0, 1, 1, 1, 1}
+	v := NMI(a, b)
+	if v <= 0 || v >= 1 {
+		t.Errorf("partial overlap NMI = %v, want in (0,1)", v)
+	}
+}

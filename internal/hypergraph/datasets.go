@@ -1,0 +1,126 @@
+package hypergraph
+
+import (
+	"fmt"
+
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// DatasetSpec describes one row of the paper's Table III: the tensor order,
+// dimension size, IOU non-zero count and Tucker rank used in every
+// experiment. Real datasets are reproduced by synthetic generators that
+// match these axes (see package comment); Scale < 1 shrinks Dim and UNNZ
+// proportionally for laptop-scale runs while keeping Order and Rank.
+type DatasetSpec struct {
+	Name      string
+	Synthetic bool // true for the L6/L7/L10/H12 family
+	Order     int
+	Dim       int
+	UNNZ      int
+	Rank      int
+	// MinCard is the minimum hyperedge cardinality of real stand-ins
+	// (controls how much dummy-node padding the tensor gets).
+	MinCard int
+	// Communities parameterizes the planted structure of real stand-ins.
+	Communities int
+}
+
+// TableIII lists the paper's nine datasets with their published parameters.
+func TableIII() []DatasetSpec {
+	return []DatasetSpec{
+		{Name: "6D", Synthetic: true, Order: 6, Dim: 100, UNNZ: 10_000, Rank: 2},
+		{Name: "7D", Synthetic: true, Order: 7, Dim: 400, UNNZ: 1_000_000, Rank: 3},
+		{Name: "10D", Synthetic: true, Order: 10, Dim: 400, UNNZ: 1_000, Rank: 5},
+		{Name: "12D", Synthetic: true, Order: 12, Dim: 400, UNNZ: 10_000, Rank: 3},
+		{Name: "contact-school", Order: 5, Dim: 245, UNNZ: 12_704, Rank: 12, MinCard: 2, Communities: 10},
+		{Name: "trivago-clicks", Order: 6, Dim: 154_987, UNNZ: 208_076, Rank: 4, MinCard: 2, Communities: 160},
+		{Name: "walmart-trips", Order: 8, Dim: 62_240, UNNZ: 47_560, Rank: 10, MinCard: 2, Communities: 44},
+		{Name: "stackoverflow", Order: 9, Dim: 2_549_043, UNNZ: 740_857, Rank: 4, MinCard: 2, Communities: 56},
+		{Name: "amazon-reviews", Order: 12, Dim: 701_429, UNNZ: 136_407, Rank: 3, MinCard: 2, Communities: 29},
+	}
+}
+
+// Lookup returns the Table III spec with the given name.
+func Lookup(name string) (DatasetSpec, error) {
+	for _, d := range TableIII() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return DatasetSpec{}, fmt.Errorf("hypergraph: unknown dataset %q", name)
+}
+
+// Scaled returns a copy of the spec with Dim and UNNZ multiplied by scale
+// (minimum 8 nodes / 4 non-zeros), for laptop-scale benchmark profiles.
+func (d DatasetSpec) Scaled(scale float64) DatasetSpec {
+	if scale >= 1 {
+		return d
+	}
+	out := d
+	out.Dim = int(float64(d.Dim) * scale)
+	if out.Dim < 8 {
+		out.Dim = 8
+	}
+	if out.Dim < d.Order+1 {
+		out.Dim = d.Order + 1
+	}
+	out.UNNZ = int(float64(d.UNNZ) * scale)
+	if out.UNNZ < 4 {
+		out.UNNZ = 4
+	}
+	if d.Communities > 0 {
+		out.Communities = int(float64(d.Communities) * scale)
+		if out.Communities < 2 {
+			out.Communities = 2
+		}
+	}
+	return out
+}
+
+// Generate materializes the spec as a hypergraph (real stand-ins) and is
+// deterministic in seed. Synthetic specs have no hypergraph structure; use
+// spsym.Random for those (GenerateTensor handles both).
+func (d DatasetSpec) Generate(seed int64) (*Hypergraph, error) {
+	if d.Synthetic {
+		return nil, fmt.Errorf("hypergraph: %s is a synthetic tensor, not a hypergraph", d.Name)
+	}
+	nodes := d.Dim - 1 // tensor dimension includes the dummy node
+	if nodes < 2 {
+		nodes = 2
+	}
+	minCard := d.MinCard
+	if minCard < 2 {
+		minCard = 2
+	}
+	h, err := Planted(PlantedOptions{
+		Nodes:       nodes,
+		Communities: d.Communities,
+		Edges:       d.UNNZ,
+		MinCard:     minCard,
+		MaxCard:     d.Order,
+		PIntra:      0.8,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// GenerateTensor materializes the spec as a sparse symmetric tensor:
+// synthetic specs via uniform-random IOU sampling (matching the CSS
+// paper's synthetic family), real stand-ins via the planted hypergraph.
+// The result may have slightly fewer non-zeros than UNNZ for real
+// stand-ins (duplicate hyperedges merge).
+func (d DatasetSpec) GenerateTensor(seed int64) (*spsym.Tensor, error) {
+	if d.Synthetic {
+		return spsym.Random(spsym.RandomOptions{
+			Order: d.Order, Dim: d.Dim, NNZ: d.UNNZ, Seed: seed,
+		})
+	}
+	h, err := d.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	return h.ToTensor(d.Order)
+}

@@ -1,0 +1,30 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: arbitrary input either parses into a structurally sane
+// hypergraph or errors — never panics.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1 2\n3 4\n")
+	f.Add("# c\n\n7\n")
+	f.Add("0 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		h, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, e := range h.Edges {
+			if len(e) == 0 {
+				t.Fatal("empty hyperedge parsed")
+			}
+			for _, v := range e {
+				if v < 0 || v >= h.Nodes {
+					t.Fatalf("node %d out of [0,%d)", v, h.Nodes)
+				}
+			}
+		}
+	})
+}

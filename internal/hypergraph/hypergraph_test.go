@@ -1,0 +1,238 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestToTensorPadsWithDummy(t *testing.T) {
+	h := &Hypergraph{Nodes: 5, Edges: [][]int{{0, 1}, {2, 3, 4}, {1, 2}}}
+	x, err := h.ToTensor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim != 6 {
+		t.Fatalf("dim = %d, want 6 (5 nodes + dummy)", x.Dim)
+	}
+	if x.Order != 3 || x.NNZ() != 3 {
+		t.Fatalf("order=%d nnz=%d", x.Order, x.NNZ())
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edge {0,1} must appear as (0,1,5) — padded with the dummy index 5.
+	found := false
+	for k := 0; k < x.NNZ(); k++ {
+		tuple := x.IndexAt(k)
+		if tuple[0] == 0 && tuple[1] == 1 && tuple[2] == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("padded edge (0,1,dummy) missing")
+	}
+}
+
+func TestToTensorDropsOversizeEdges(t *testing.T) {
+	h := &Hypergraph{Nodes: 6, Edges: [][]int{{0, 1, 2, 3}, {4, 5}}}
+	x, err := h.ToTensor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() != 1 {
+		t.Fatalf("nnz = %d, want 1 (4-edge dropped)", x.NNZ())
+	}
+}
+
+func TestToTensorNoPaddingNeeded(t *testing.T) {
+	h := &Hypergraph{Nodes: 4, Edges: [][]int{{0, 1, 2}, {1, 2, 3}}}
+	x, err := h.ToTensor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim != 4 {
+		t.Fatalf("dim = %d, want 4 (no dummy)", x.Dim)
+	}
+}
+
+func TestToTensorErrors(t *testing.T) {
+	h := &Hypergraph{Nodes: 4, Edges: [][]int{{0, 1, 2, 3}}}
+	if _, err := h.ToTensor(3); err == nil {
+		t.Error("all edges oversize must fail")
+	}
+	if _, err := h.ToTensor(1); err == nil {
+		t.Error("order 1 must fail")
+	}
+}
+
+func TestToTensorMergesDuplicateEdges(t *testing.T) {
+	h := &Hypergraph{Nodes: 3, Edges: [][]int{{0, 1}, {1, 0}}}
+	x, err := h.ToTensor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() != 1 || x.Values[0] != 2 {
+		t.Fatalf("duplicate edges should merge: nnz=%d val=%v", x.NNZ(), x.Values)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	h := &Hypergraph{Nodes: 7, Edges: [][]int{{0, 3}, {1, 4, 6}, {2}}}
+	var buf bytes.Buffer
+	if err := h.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != 7 || got.NumEdges() != 3 {
+		t.Fatalf("round trip: nodes=%d edges=%d", got.Nodes, got.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("")); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("1 x 3\n")); err == nil {
+		t.Error("bad node id must fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("1 -2\n")); err == nil {
+		t.Error("negative node id must fail")
+	}
+}
+
+func TestReadEdgeListSkipsComments(t *testing.T) {
+	h, err := ReadEdgeList(strings.NewReader("# header\n\n0 1\n# mid\n2 3 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 || h.Nodes != 5 {
+		t.Fatalf("edges=%d nodes=%d", h.NumEdges(), h.Nodes)
+	}
+}
+
+func TestPlantedStructure(t *testing.T) {
+	h, err := Planted(PlantedOptions{
+		Nodes: 60, Communities: 3, Edges: 200,
+		MinCard: 2, MaxCard: 4, PIntra: 1.0, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 200 || len(h.Labels) != 60 {
+		t.Fatalf("edges=%d labels=%d", h.NumEdges(), len(h.Labels))
+	}
+	if h.MaxCardinality() > 4 {
+		t.Errorf("cardinality %d exceeds MaxCard", h.MaxCardinality())
+	}
+	// With PIntra = 1 every edge stays inside one community.
+	for _, e := range h.Edges {
+		c := h.Labels[e[0]]
+		for _, v := range e[1:] {
+			if h.Labels[v] != c {
+				t.Fatalf("edge %v crosses communities with PIntra=1", e)
+			}
+		}
+	}
+}
+
+func TestPlantedValidation(t *testing.T) {
+	bad := []PlantedOptions{
+		{Nodes: 0, Communities: 1, Edges: 1, MinCard: 2, MaxCard: 2},
+		{Nodes: 5, Communities: 6, Edges: 1, MinCard: 2, MaxCard: 2},
+		{Nodes: 5, Communities: 2, Edges: 1, MinCard: 0, MaxCard: 2},
+		{Nodes: 5, Communities: 2, Edges: 1, MinCard: 3, MaxCard: 2},
+		{Nodes: 5, Communities: 2, Edges: 1, MinCard: 2, MaxCard: 2, PIntra: 1.5},
+	}
+	for i, o := range bad {
+		if _, err := Planted(o); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPlantedDeterministic(t *testing.T) {
+	o := PlantedOptions{Nodes: 30, Communities: 3, Edges: 50, MinCard: 2, MaxCard: 3, PIntra: 0.7, Seed: 9}
+	a, _ := Planted(o)
+	b, _ := Planted(o)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed differs")
+	}
+	for i := range a.Edges {
+		for j := range a.Edges[i] {
+			if a.Edges[i][j] != b.Edges[i][j] {
+				t.Fatal("same seed produced different edges")
+			}
+		}
+	}
+}
+
+func TestTableIIIAndLookup(t *testing.T) {
+	specs := TableIII()
+	if len(specs) != 9 {
+		t.Fatalf("Table III has %d rows, want 9", len(specs))
+	}
+	d, err := Lookup("walmart-trips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Order != 8 || d.Rank != 10 {
+		t.Errorf("walmart-trips spec wrong: %+v", d)
+	}
+	if _, err := Lookup("nonexistent"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	d, _ := Lookup("stackoverflow")
+	s := d.Scaled(0.001)
+	if s.Dim >= d.Dim || s.UNNZ >= d.UNNZ {
+		t.Error("Scaled did not shrink")
+	}
+	if s.Order != d.Order || s.Rank != d.Rank {
+		t.Error("Scaled must keep order and rank")
+	}
+	if s.Dim < s.Order+1 {
+		t.Error("Scaled dim too small for the order")
+	}
+	if full := d.Scaled(1.0); full.Dim != d.Dim {
+		t.Error("scale 1 must be identity")
+	}
+}
+
+func TestGenerateTensorSynthetic(t *testing.T) {
+	d, _ := Lookup("6D")
+	sc := d.Scaled(0.01)
+	x, err := sc.GenerateTensor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order != 6 || x.NNZ() != sc.UNNZ {
+		t.Errorf("order=%d nnz=%d want order=6 nnz=%d", x.Order, x.NNZ(), sc.UNNZ)
+	}
+}
+
+func TestGenerateTensorRealStandIn(t *testing.T) {
+	d, _ := Lookup("contact-school")
+	sc := d.Scaled(0.2)
+	x, err := sc.GenerateTensor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order != 5 {
+		t.Errorf("order = %d, want 5", x.Order)
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Generate(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableIII()[0].Generate(1); err == nil {
+		t.Error("Generate on a synthetic spec must fail")
+	}
+}

@@ -1,0 +1,98 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// This file implements the classical pairwise baseline against which
+// tensor methods are motivated (paper §I: tensor decompositions of
+// adjacency tensors "reveal clustering structures" that pairwise
+// projections flatten): project the symmetric adjacency tensor to a
+// weighted co-occurrence graph and cluster it spectrally. The communities
+// example compares both pipelines on the same planted hypergraph.
+
+// CoOccurrence projects a sparse symmetric tensor to its weighted pairwise
+// co-occurrence matrix: A(a, b) accumulates the value of every non-zero
+// whose index multiset contains both distinct values a and b. The diagonal
+// is left zero. The result is dense I x I — intended for the moderate
+// dimensions where spectral clustering is feasible anyway.
+func CoOccurrence(x *spsym.Tensor) *linalg.Matrix {
+	a := linalg.NewMatrix(x.Dim, x.Dim)
+	distinct := make([]int, 0, x.Order)
+	for k := 0; k < x.NNZ(); k++ {
+		tuple := x.IndexAt(k)
+		val := x.Values[k]
+		distinct = distinct[:0]
+		for i, v := range tuple {
+			if i == 0 || v != tuple[i-1] {
+				distinct = append(distinct, int(v))
+			}
+		}
+		for i := 0; i < len(distinct); i++ {
+			for j := i + 1; j < len(distinct); j++ {
+				u, v := distinct[i], distinct[j]
+				a.Set(u, v, a.At(u, v)+val)
+				a.Set(v, u, a.At(v, u)+val)
+			}
+		}
+	}
+	return a
+}
+
+// SpectralCluster clusters a weighted undirected graph (dense symmetric
+// adjacency, non-negative weights) into k groups via the normalized
+// Laplacian: the top-k eigenvectors of D^{-1/2}·A·D^{-1/2}, row-normalized,
+// then k-means (Ng-Jordan-Weiss). Isolated vertices land in whatever
+// cluster k-means assigns their zero embedding.
+func SpectralCluster(adj *linalg.Matrix, k int, seed int64) ([]int, error) {
+	if adj.Rows != adj.Cols {
+		return nil, fmt.Errorf("hypergraph: adjacency must be square, got %dx%d", adj.Rows, adj.Cols)
+	}
+	n := adj.Rows
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// D^{-1/2}
+	dinv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var deg float64
+		for _, v := range adj.Row(i) {
+			deg += v
+		}
+		if deg > 0 {
+			dinv[i] = 1 / math.Sqrt(deg)
+		}
+	}
+	norm := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			norm.Set(i, j, dinv[i]*adj.At(i, j)*dinv[j])
+		}
+	}
+	top, err := linalg.TopEigenvectors(norm, k)
+	if err != nil {
+		return nil, err
+	}
+	// Row-normalize the embedding.
+	for i := 0; i < n; i++ {
+		row := top.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		if s > 0 {
+			s = 1 / math.Sqrt(s)
+			for j := range row {
+				row[j] *= s
+			}
+		}
+	}
+	return KMeans(top, k, seed, 100), nil
+}

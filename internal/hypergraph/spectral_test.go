@@ -1,0 +1,105 @@
+package hypergraph
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+func TestCoOccurrence(t *testing.T) {
+	x := spsym.New(3, 5)
+	x.Append([]int{0, 1, 2}, 2.0)
+	x.Append([]int{1, 1, 3}, 1.0) // distinct values {1,3}: one pair
+	x.Append([]int{4, 4, 4}, 7.0) // single distinct value: no pairs
+	x.Canonicalize()
+	a := CoOccurrence(x)
+	if a.At(0, 1) != 2 || a.At(1, 0) != 2 || a.At(0, 2) != 2 || a.At(1, 2) != 2 {
+		t.Errorf("triangle weights wrong: %v", a.Data)
+	}
+	if a.At(1, 3) != 1 || a.At(3, 1) != 1 {
+		t.Errorf("repeated-index pair weight wrong: %v", a.At(1, 3))
+	}
+	for i := 0; i < 5; i++ {
+		if a.At(i, i) != 0 {
+			t.Errorf("diagonal must stay zero, got %v at %d", a.At(i, i), i)
+		}
+	}
+	if a.At(4, 0) != 0 {
+		t.Error("unconnected pair must be zero")
+	}
+}
+
+func TestSpectralClusterTwoBlocks(t *testing.T) {
+	// Two dense 10-node blocks with a single weak bridge.
+	n := 20
+	adj := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if (i < 10) == (j < 10) {
+				adj.Set(i, j, 1)
+				adj.Set(j, i, 1)
+			}
+		}
+	}
+	adj.Set(0, 10, 0.01)
+	adj.Set(10, 0, 0.01)
+	labels, err := SpectralCluster(adj, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]int, n)
+	for i := 10; i < n; i++ {
+		truth[i] = 1
+	}
+	if acc := ClusterAgreement(truth, labels); acc < 0.99 {
+		t.Errorf("two-block recovery accuracy %v", acc)
+	}
+}
+
+func TestSpectralClusterFromTensor(t *testing.T) {
+	h, err := Planted(PlantedOptions{
+		Nodes: 60, Communities: 3, Edges: 400,
+		MinCard: 2, MaxCard: 4, PIntra: 0.95, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := h.ToTensor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := CoOccurrence(x)
+	// Blank out the dummy node's connections (it links everything).
+	if x.Dim > h.Nodes {
+		for i := 0; i < x.Dim; i++ {
+			adj.Set(i, h.Nodes, 0)
+			adj.Set(h.Nodes, i, 0)
+		}
+	}
+	labels, err := SpectralCluster(adj, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ClusterAgreement(h.Labels, labels[:h.Nodes]); acc < 0.9 {
+		t.Errorf("planted recovery accuracy %v", acc)
+	}
+}
+
+func TestSpectralClusterDegenerate(t *testing.T) {
+	if _, err := SpectralCluster(linalg.NewMatrix(2, 3), 2, 1); err == nil {
+		t.Error("non-square adjacency must fail")
+	}
+	// Graph with isolated vertices must not crash.
+	adj := linalg.NewMatrix(4, 4)
+	adj.Set(0, 1, 1)
+	adj.Set(1, 0, 1)
+	labels, err := SpectralCluster(adj, 2, 1)
+	if err != nil || len(labels) != 4 {
+		t.Fatalf("isolated-vertex case failed: %v", err)
+	}
+	// k clamps.
+	if labels, err = SpectralCluster(adj, 99, 1); err != nil || len(labels) != 4 {
+		t.Fatalf("k>n clamp failed: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package kernels
+
+import (
+	"github.com/symprop/symprop/internal/css"
+	"github.com/symprop/symprop/internal/linalg"
+)
+
+// This file implements the CSS format's second memoization — *between* IOU
+// non-zeros (paper §II-B: "two types of memoization: between IOU non-zeros
+// and within permutations"). A K tensor depends only on its value multiset
+// and U, so whenever two non-zeros share a sub-multiset of index values
+// (hypergraph tensors repeat node combinations constantly) the K computed
+// for one can be reused verbatim for the other. The CSS tree realizes this
+// for shared sorted prefixes; the value-keyed cache here subsumes prefix
+// sharing (any recurring sub-multiset hits, prefix or not) while remaining
+// correct by construction.
+//
+// The cache is per worker (no synchronization) and epoch-cleared when full,
+// bounding memory without LRU bookkeeping.
+
+// nzCacheMinEntryBytes gates caching by K-tensor size: recomputing a small
+// K is cheaper than a map round trip, so only buffers at least this large
+// participate (larger ranks and levels, where the savings are real).
+const nzCacheMinEntryBytes = 512
+
+// nzCache memoizes compact K buffers by (level, value-multiset).
+type nzCache struct {
+	entries  map[uint64][]float64
+	maxBytes int64
+	bytes    int64
+	hits     int64
+	misses   int64
+}
+
+func newNZCache(maxBytes int64) *nzCache {
+	return &nzCache{entries: make(map[uint64][]float64), maxBytes: maxBytes}
+}
+
+// key hashes the level together with the node's distinct values and
+// multiplicities (FNV-1a). Collisions would silently corrupt results, so
+// the full (value, count) sequence participates; 64-bit FNV over <=32
+// small ints has negligible collision probability at the cache sizes used.
+func nzKey(level int, node css.Key, values []int32, sig []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xFF
+			h *= prime64
+		}
+	}
+	mix(uint64(level))
+	for t := range sig {
+		c := int((node >> (4 * t)) & 0xF)
+		if len(sig) == 1 {
+			c = int(node)
+		}
+		if c == 0 {
+			continue
+		}
+		mix(uint64(values[t]))
+		mix(uint64(c))
+	}
+	return h
+}
+
+// evalLatticeCached is evalLattice with cross-non-zero memoization: every
+// node is first looked up in the cache; misses are computed and inserted.
+func evalLatticeCached(p *css.Plan, b *latticeBufs, values []int32, sig []int,
+	u *linalg.Matrix, cache *nzCache, iter IterationStrategy) {
+	r := u.Cols
+	for n := range p.Levels[0] {
+		copy(b.levels[0][n], u.Row(int(values[n])))
+	}
+	outer := outerFor(iter)
+	// srcs[li][n] points at the buffer holding node n of level li — the
+	// cached copy on a hit, the workspace buffer otherwise.
+	srcs := make([][][]float64, len(p.Levels))
+	srcs[0] = b.levels[0]
+	for li := 1; li < len(p.Levels); li++ {
+		l := li + 1
+		srcs[li] = make([][]float64, len(p.Levels[li]))
+		for n := range p.Levels[li] {
+			node := &p.Levels[li][n]
+			size := int64(len(b.levels[li][n])) * 8
+			if size < nzCacheMinEntryBytes {
+				// Too small to be worth a map round trip: compute in place.
+				dst := b.levels[li][n]
+				for i := range dst {
+					dst[i] = 0
+				}
+				for _, e := range node.Edges {
+					outer(l, dst, srcs[li-1][e.Child], u.Row(int(values[e.Slot])), r)
+				}
+				srcs[li][n] = dst
+				continue
+			}
+			key := nzKey(l, node.Key, values, sig)
+			if buf, ok := cache.entries[key]; ok {
+				cache.hits++
+				srcs[li][n] = buf
+				continue
+			}
+			cache.misses++
+			// Compute directly into a cache-owned buffer (make zeroes it),
+			// avoiding a separate copy on every miss.
+			dst := make([]float64, len(b.levels[li][n]))
+			for _, e := range node.Edges {
+				outer(l, dst, srcs[li-1][e.Child], u.Row(int(values[e.Slot])), r)
+			}
+			srcs[li][n] = dst
+			if cache.bytes+size > cache.maxBytes {
+				cache.entries = make(map[uint64][]float64)
+				cache.bytes = 0
+			}
+			cache.entries[key] = dst
+			cache.bytes += size
+		}
+	}
+	// Expose the top buffers through the workspace: the caller reads the
+	// top level from the workspace, so alias or copy cached buffers back.
+	topLi := len(p.Levels) - 1
+	if topLi >= 1 {
+		for n := range p.Levels[topLi] {
+			if len(srcs[topLi][n]) > 0 && len(b.levels[topLi][n]) > 0 &&
+				&srcs[topLi][n][0] != &b.levels[topLi][n][0] {
+				copy(b.levels[topLi][n], srcs[topLi][n])
+			}
+		}
+	}
+}
+
+// CacheStats reports cross-non-zero cache effectiveness.
+type CacheStats struct {
+	Hits, Misses int64
+}
+
+// HitRate returns hits/(hits+misses), 0 when unused.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

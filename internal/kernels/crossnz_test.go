@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/symprop/symprop/internal/hypergraph"
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+func TestCrossNZCacheMatchesUncached(t *testing.T) {
+	// Hypergraph tensors repeat node pairs constantly — the cache's target.
+	h, err := hypergraph.Planted(hypergraph.PlantedOptions{
+		Nodes: 40, Communities: 4, Edges: 300, MinCard: 3, MaxCard: 5, PIntra: 0.9, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := h.ToTensor(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 7 makes level-3 K tensors large enough to participate in the
+	// cache (the size gate skips tiny buffers).
+	u := linalg.RandomNormal(x.Dim, 7, rand.New(rand.NewSource(4)))
+
+	plain, err := S3TTMcSymProp(x, u, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats CacheStats
+	cached, err := S3TTMcSymProp(x, u, Options{
+		Workers: 2, CrossNZCacheBytes: 16 << 20, Stats: &stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(plain, cached); d > 1e-10 {
+		t.Fatalf("cached kernel differs by %v", d)
+	}
+	if stats.Hits == 0 {
+		t.Error("expected cache hits on a hypergraph tensor with repeated node sets")
+	}
+	if stats.HitRate() <= 0 || stats.HitRate() >= 1 {
+		t.Errorf("hit rate %v out of (0,1)", stats.HitRate())
+	}
+}
+
+func TestCrossNZCacheRandomTensors(t *testing.T) {
+	// Property-style: random tensors with and without repeats must agree.
+	for _, seed := range []int64{1, 2, 3, 4} {
+		x, err := spsym.Random(spsym.RandomOptions{Order: 4, Dim: 8, NNZ: 40, Seed: seed, Values: spsym.ValueNormal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := linalg.RandomNormal(8, 3, rand.New(rand.NewSource(seed+50)))
+		plain, err := S3TTMcSymProp(x, u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := S3TTMcSymProp(x, u, Options{CrossNZCacheBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := linalg.MaxAbsDiff(plain, cached); d > 1e-10 {
+			t.Fatalf("seed %d: cached differs by %v", seed, d)
+		}
+	}
+}
+
+// A tiny budget forces epoch clearing; results must stay correct.
+func TestCrossNZCacheEviction(t *testing.T) {
+	x, u := randomCase(t, 4, 10, 60, 8, 87)
+	plain, err := S3TTMcSymProp(x, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats CacheStats
+	cached, err := S3TTMcSymProp(x, u, Options{CrossNZCacheBytes: 512, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(plain, cached); d > 1e-10 {
+		t.Fatalf("eviction run differs by %v", d)
+	}
+	if stats.Misses == 0 {
+		t.Error("stats not collected")
+	}
+}
+
+func TestNZKeyDiscriminates(t *testing.T) {
+	values := []int32{3, 7, 9}
+	sig := []int{1, 1, 1}
+	k1 := nzKey(2, 0x011, values, sig) // {3,7}
+	k2 := nzKey(2, 0x110, values, sig) // {7,9}
+	k3 := nzKey(3, 0x011, values, sig) // same multiset, different level
+	k4 := nzKey(2, 0x011, []int32{3, 8, 9}, sig)
+	if k1 == k2 || k1 == k3 || k1 == k4 {
+		t.Error("nzKey failed to discriminate distinct nodes")
+	}
+	// Repeated-value signature: {a,a} vs {a} must differ.
+	vs := []int32{5}
+	if nzKey(2, 0x2, vs, []int{2}) == nzKey(1, 0x1, vs, []int{2}) {
+		t.Error("multiplicity not reflected in key")
+	}
+}
+
+func TestCacheStatsHitRate(t *testing.T) {
+	if (CacheStats{}).HitRate() != 0 {
+		t.Error("empty stats should report 0")
+	}
+	if (CacheStats{Hits: 3, Misses: 1}).HitRate() != 0.75 {
+		t.Error("hit rate arithmetic wrong")
+	}
+}
+
+// The cache composes with the non-default iteration strategies.
+func TestCrossNZCacheWithIterationStrategies(t *testing.T) {
+	x, u := randomCase(t, 4, 10, 40, 8, 131)
+	want, err := S3TTMcSymProp(x, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iter := range []IterationStrategy{IterRecursive, IterIndexMapped} {
+		got, err := S3TTMcSymProp(x, u, Options{
+			Iteration: iter, CrossNZCacheBytes: 1 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := linalg.MaxAbsDiff(want, got); d > 1e-10 {
+			t.Errorf("strategy %d with cache differs by %v", iter, d)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+func TestEstimatesOrderingAndSanity(t *testing.T) {
+	x, err := spsym.Random(spsym.RandomOptions{Order: 6, Dim: 200, NNZ: 500, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rank, workers = 6, 4
+	sp := EstimateSymPropBytes(x, rank, workers)
+	css := EstimateCSSBytes(x, rank, workers)
+	splatt := EstimateSPLATTBytes(x, rank)
+	nary := EstimateNaryBytes(x, rank, workers)
+	for name, v := range map[string]int64{"sp": sp, "css": css, "splatt": splatt, "nary": nary} {
+		if v <= 0 {
+			t.Errorf("%s estimate %d not positive", name, v)
+		}
+	}
+	// The whole point of SymProp: its footprint is the smallest.
+	if sp >= css || sp >= splatt {
+		t.Errorf("SymProp estimate %d should undercut CSS %d and SPLATT %d", sp, css, splatt)
+	}
+	// Estimates saturate rather than overflow at absurd shapes.
+	big, err := spsym.Random(spsym.RandomOptions{Order: 14, Dim: 400, NNZ: 50, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EstimateSPLATTBytes(big, 16) < (1 << 50) {
+		t.Error("order-14 rank-16 SPLATT estimate should be astronomically large")
+	}
+	if EstimateCSSBytes(big, 16, workers) < (1 << 50) {
+		t.Error("order-14 rank-16 CSS estimate should be astronomically large")
+	}
+	if EstimateNaryBytes(big, 16, workers) < (1 << 50) {
+		t.Error("order-14 rank-16 n-ary estimate should be astronomically large")
+	}
+}
+
+func TestSPLATTExpandedNNZAccessor(t *testing.T) {
+	x, err := spsym.Random(spsym.RandomOptions{Order: 3, Dim: 6, NNZ: 5, Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSPLATT(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(s.ExpandedNNZ()) != x.ExpandedNNZ() {
+		t.Errorf("ExpandedNNZ %d != tensor's %d", s.ExpandedNNZ(), x.ExpandedNNZ())
+	}
+}

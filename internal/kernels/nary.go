@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"sync"
+
+	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// NaryResult bundles the outputs of the original-HOQRI n-ary kernel.
+type NaryResult struct {
+	// A = Y(1)·C(1)ᵀ, shape I x R.
+	A *linalg.Matrix
+	// CoreFull is the full core unfolding C(1), R x R^{N-1}.
+	CoreFull *linalg.Matrix
+}
+
+// CoreNormSquared returns ||C||² from the full core.
+func (r *NaryResult) CoreNormSquared() float64 {
+	var s float64
+	for _, v := range r.CoreFull.Data {
+		s += v * v
+	}
+	return s
+}
+
+// NaryTTMcTC implements the *original* HOQRI kernel of Sun & Huang [14] as
+// the paper characterizes it (Table II): an n-ary contraction that computes
+// the core C and the matrix A by streaming over every expanded non-zero
+// with no memoization across permutations — O(R^N·N!·unnz) work, but no
+// intermediate larger than the R x R^{N-1} core. It is the executable
+// baseline behind Table II's third row and the HOQRI-vs-HOQRI-SymProp
+// ablation.
+//
+// Two streaming passes over the (never materialized) expansion:
+//
+//	pass 1:  C(r1, j) += x · U(i1, r1) · kron_j(U(i2..iN))
+//	pass 2:  A(i1, :) += x · C(1) · kron(U(i2..iN))
+func NaryTTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*NaryResult, error) {
+	if err := validate(x, u); err != nil {
+		return nil, err
+	}
+	r := u.Cols
+	kronLen := dense.Pow64(int64(r), x.Order-1)
+	coreBytes := memguard.Float64Bytes(int64(r) * kronLen)
+	// Per-worker: one core partial (pass 1) plus a kron scratch.
+	workers := opts.workers()
+	wsBytes := memguard.Float64Bytes((int64(r)+1)*kronLen) * int64(workers)
+	if err := opts.Guard.Reserve(coreBytes, "n-ary full core C(1)"); err != nil {
+		return nil, err
+	}
+	defer opts.Guard.Release(coreBytes)
+	if err := opts.Guard.Reserve(wsBytes, "n-ary worker scratch"); err != nil {
+		return nil, err
+	}
+	defer opts.Guard.Release(wsBytes)
+
+	core := linalg.NewMatrix(r, int(kronLen))
+
+	// Pass 1: accumulate the core from every expanded non-zero.
+	var mu sync.Mutex
+	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
+		partial := linalg.NewMatrix(r, int(kronLen))
+		kron := make([]float64, kronLen)
+		sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
+			Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
+		sub.ForEachExpanded(func(idx []int32, val float64) {
+			kronRows(u, idx[1:], kron)
+			urow := u.Row(int(idx[0]))
+			for r1 := 0; r1 < r; r1++ {
+				c := val * urow[r1]
+				row := partial.Row(r1)
+				for j, kv := range kron {
+					row[j] += c * kv
+				}
+			}
+		})
+		mu.Lock()
+		for i, v := range partial.Data {
+			core.Data[i] += v
+		}
+		mu.Unlock()
+	})
+
+	// Pass 2: A(i1,:) += x · C(1)·kron.
+	a := linalg.NewMatrix(x.Dim, r)
+	var locks rowLocks
+	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
+		kron := make([]float64, kronLen)
+		contrib := make([]float64, r)
+		sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
+			Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
+		sub.ForEachExpanded(func(idx []int32, val float64) {
+			kronRows(u, idx[1:], kron)
+			for r1 := 0; r1 < r; r1++ {
+				row := core.Row(r1)
+				var s float64
+				for j, kv := range kron {
+					s += row[j] * kv
+				}
+				contrib[r1] = val * s
+			}
+			row := int(idx[0])
+			locks.lock(row)
+			arow := a.Row(row)
+			for r1 := 0; r1 < r; r1++ {
+				arow[r1] += contrib[r1]
+			}
+			locks.unlock(row)
+		})
+	})
+	return &NaryResult{A: a, CoreFull: core}, nil
+}
+
+// kronRows writes the Kronecker product of the U rows selected by idx into
+// out (length R^len(idx)), leftmost row slowest-varying — matching the
+// column order of the full unfoldings used throughout this module.
+func kronRows(u *linalg.Matrix, idx []int32, out []float64) {
+	r := u.Cols
+	first := u.Row(int(idx[0]))
+	copy(out[:r], first)
+	length := r
+	for a := 1; a < len(idx); a++ {
+		row := u.Row(int(idx[a]))
+		// Expand in place from the back to avoid a second buffer.
+		for i := length - 1; i >= 0; i-- {
+			v := out[i]
+			base := i * r
+			for j := r - 1; j >= 0; j-- {
+				out[base+j] = v * row[j]
+			}
+		}
+		length *= r
+	}
+}

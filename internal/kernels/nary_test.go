@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+func TestKronRows(t *testing.T) {
+	u := linalg.NewMatrixFrom(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	out := make([]float64, 4)
+	kronRows(u, []int32{0, 2}, out)
+	// row0 ⊗ row2 = [1,2] ⊗ [5,6] = [5,6,10,12].
+	want := []float64{5, 6, 10, 12}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("kronRows = %v, want %v", out, want)
+		}
+	}
+	// Single row: identity copy.
+	out1 := make([]float64, 2)
+	kronRows(u, []int32{1}, out1)
+	if out1[0] != 3 || out1[1] != 4 {
+		t.Fatalf("single-row kron = %v", out1)
+	}
+	// Rank-1 columns.
+	u1 := linalg.NewMatrixFrom(2, 1, []float64{2, 3})
+	o := make([]float64, 1)
+	kronRows(u1, []int32{0, 1}, o)
+	if o[0] != 6 {
+		t.Fatalf("rank-1 kron = %v, want 6", o[0])
+	}
+}
+
+// The n-ary kernel must agree with the memoized S3TTMcTC on both A and the
+// core norm — they compute the same mathematical objects.
+func TestNaryMatchesSymProp(t *testing.T) {
+	for _, tc := range []struct {
+		order, dim, nnz, r int
+	}{
+		{3, 6, 12, 3},
+		{4, 5, 10, 2},
+		{5, 4, 8, 2},
+	} {
+		x, u := randomCase(t, tc.order, tc.dim, tc.nnz, tc.r, int64(tc.order*3+tc.r))
+		nary, err := NaryTTMcTC(x, u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := S3TTMcTC(x, u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := linalg.MaxAbsDiff(nary.A, sp.A); d > 1e-8 {
+			t.Errorf("order=%d: n-ary A differs from SymProp by %v", tc.order, d)
+		}
+		if a, b := nary.CoreNormSquared(), sp.CoreNormSquared(); !close(a, b, 1e-8) {
+			t.Errorf("order=%d: core norms differ: %v vs %v", tc.order, a, b)
+		}
+		// The full core must equal the expansion of the compact core.
+		cFull := ExpandCompactColumns(sp.Cp, tc.order, tc.r)
+		if d := linalg.MaxAbsDiff(nary.CoreFull, cFull); d > 1e-8 {
+			t.Errorf("order=%d: full cores differ by %v", tc.order, d)
+		}
+	}
+}
+
+func TestNaryWithRepeatedIndices(t *testing.T) {
+	x := spsym.New(3, 4)
+	x.Append([]int{0, 0, 0}, 1.0)
+	x.Append([]int{1, 1, 2}, -2.0)
+	x.Canonicalize()
+	u := linalg.RandomNormal(4, 2, rand.New(rand.NewSource(3)))
+	nary, err := NaryTTMcTC(x, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := S3TTMcTC(x, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(nary.A, sp.A); d > 1e-10 {
+		t.Errorf("repeated indices: A differs by %v", d)
+	}
+}
+
+func TestNaryWorkersAgree(t *testing.T) {
+	x, u := randomCase(t, 4, 8, 30, 3, 55)
+	base, err := NaryTTMcTC(x, u, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NaryTTMcTC(x, u, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(base.A, multi.A); d > 1e-10 {
+		t.Errorf("worker counts disagree by %v", d)
+	}
+}
+
+func TestNaryOOM(t *testing.T) {
+	// The full R^{N-1} core is exactly what SymProp avoids; a tight guard
+	// kills the n-ary kernel while SymProp fits.
+	x, err := spsym.Random(spsym.RandomOptions{Order: 8, Dim: 50, NNZ: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := linalg.RandomNormal(50, 8, rand.New(rand.NewSource(9)))
+	guard := memguard.New(8 << 20)
+	if _, err := NaryTTMcTC(x, u, Options{Guard: guard, Workers: 2}); !errors.Is(err, memguard.ErrOutOfMemory) {
+		t.Errorf("n-ary should OOM, got %v", err)
+	}
+	if _, err := S3TTMcTC(x, u, Options{Guard: guard, Workers: 2}); err != nil {
+		t.Errorf("SymProp should fit: %v", err)
+	}
+}
+
+func TestForEachExpandedStreaming(t *testing.T) {
+	x := spsym.New(3, 5)
+	x.Append([]int{0, 1, 1}, 2.0)
+	x.Append([]int{2, 3, 4}, 1.0)
+	x.Canonicalize()
+	var count int
+	var sum float64
+	x.ForEachExpanded(func(idx []int32, val float64) {
+		count++
+		sum += val
+	})
+	// 3 permutations of (0,1,1) + 6 of (2,3,4).
+	if count != 9 {
+		t.Errorf("streamed %d non-zeros, want 9", count)
+	}
+	if sum != 3*2.0+6*1.0 {
+		t.Errorf("value sum %v, want 12", sum)
+	}
+}
+
+func TestUCOOMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		order, dim, nnz, r int
+	}{
+		{2, 5, 8, 3},
+		{3, 6, 12, 4},
+		{4, 5, 10, 2},
+	} {
+		x, u := randomCase(t, tc.order, tc.dim, tc.nnz, tc.r, int64(tc.order*13+tc.r))
+		got, err := S3TTMcUCOO(x, u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceTTMc(x, u)
+		if d := linalg.MaxAbsDiff(got, want); d > 1e-9 {
+			t.Errorf("order=%d: UCOO differs from reference by %v", tc.order, d)
+		}
+	}
+}
+
+func TestUCOOWithRepeats(t *testing.T) {
+	x := spsym.New(3, 4)
+	x.Append([]int{0, 0, 1}, 2.0)
+	x.Append([]int{2, 2, 2}, -1.0)
+	x.Canonicalize()
+	u := linalg.RandomNormal(4, 3, rand.New(rand.NewSource(17)))
+	got, err := S3TTMcUCOO(x, u, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceTTMc(x, u)
+	if d := linalg.MaxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("UCOO with repeats differs by %v", d)
+	}
+}
+
+func TestUCOOOOM(t *testing.T) {
+	x, err := spsym.Random(spsym.RandomOptions{Order: 7, Dim: 100, NNZ: 50, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := linalg.RandomNormal(100, 8, rand.New(rand.NewSource(21)))
+	if _, err := S3TTMcUCOO(x, u, Options{Guard: memguard.New(1 << 20)}); !errors.Is(err, memguard.ErrOutOfMemory) {
+		t.Errorf("want ErrOutOfMemory, got %v", err)
+	}
+	if EstimateUCOOBytes(x, 8, 4) <= 0 {
+		t.Error("estimate should be positive")
+	}
+}

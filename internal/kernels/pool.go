@@ -1,0 +1,55 @@
+package kernels
+
+import "sync"
+
+// WorkspacePool recycles per-worker lattice workspaces across kernel
+// invocations. A Tucker run calls S³TTMc once per sweep with identical
+// shapes, so without pooling every sweep reallocates workers × (lattice
+// buffers) — measurable GC churn at high order. The drivers create one
+// pool per run and pass it through Options.
+//
+// A pool is safe for concurrent use and may be shared by kernels with
+// different shapes: workspaces are matched on (order, rank, compact).
+type WorkspacePool struct {
+	mu   sync.Mutex
+	free []*workspace
+}
+
+func (p *WorkspacePool) get(order, r int, compact bool) *workspace {
+	if p == nil {
+		return newWorkspace(order, r, compact)
+	}
+	p.mu.Lock()
+	for i, ws := range p.free {
+		if ws.order == order && ws.r == r && ws.compact == compact {
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free = p.free[:last]
+			p.mu.Unlock()
+			return ws
+		}
+	}
+	p.mu.Unlock()
+	return newWorkspace(order, r, compact)
+}
+
+func (p *WorkspacePool) put(ws *workspace) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < 64 { // bound pooled memory
+		p.free = append(p.free, ws)
+	}
+	p.mu.Unlock()
+}
+
+// Len reports the number of idle pooled workspaces (for tests).
+func (p *WorkspacePool) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,446 @@
+// Package kernels implements the computational kernels of the paper:
+//
+//   - S3TTMcSymProp — the paper's contribution (§III): CSS-lattice
+//     computation with symmetry propagated through every intermediate K
+//     tensor; compact IOU storage everywhere, output in partially
+//     symmetric compact form Y_p (I x S_{N-1,R}).
+//   - S3TTMcCSS — the prior state of the art [11], [12]: the same lattice
+//     memoization but with *full* dense intermediates (R^l per K tensor)
+//     and a full Y(1) (I x R^{N-1}); symmetry of the input only.
+//   - SPLATT — the general sparse baseline: CSF over the permutation-
+//     expanded non-zero set (internal/csf).
+//   - S3TTMcTC — paper Algorithm 2, feeding HOQRI.
+//
+// All kernels parallelize over IOU non-zeros with striped row locks on the
+// output and per-worker lattice workspaces.
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/symprop/symprop/internal/css"
+	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// IterationStrategy selects how the compact symmetric layouts are
+// iterated inside the SymProp kernel — the §VI-B.4 ablation, end to end.
+type IterationStrategy int
+
+const (
+	// IterGenerated (default) dispatches to the fully unrolled loop nests
+	// of internal/dense — the metaprogramming analog.
+	IterGenerated IterationStrategy = iota
+	// IterRecursive uses the recursive-closure loop nest.
+	IterRecursive
+	// IterIndexMapped uses boundary tracing plus an explicit rank
+	// computation per entry — the Ballard et al. [16] baseline.
+	IterIndexMapped
+	// IterInterpreted keeps the generated loop nests for the outer
+	// products but walks the lattice through the plan interpreter,
+	// bypassing the straight-line evaluators of lattice_gen.go — the
+	// ablation knob isolating that second layer of code generation.
+	IterInterpreted
+)
+
+// Options configures kernel execution.
+type Options struct {
+	// Guard bounds memory; nil disables the budget.
+	Guard *memguard.Guard
+	// Workers is the goroutine count; 0 means GOMAXPROCS.
+	Workers int
+	// PlanCache carries lattice plans across calls (e.g. across Tucker
+	// iterations). nil uses a fresh per-call cache.
+	PlanCache *css.Cache
+	// Iteration selects the compact-layout iteration strategy (SymProp
+	// kernels only); the default is the generated loop nests.
+	Iteration IterationStrategy
+	// Pool recycles per-worker lattice workspaces across calls (e.g.
+	// across Tucker sweeps). nil allocates fresh workspaces per call.
+	Pool *WorkspacePool
+	// CrossNZCacheBytes enables the between-non-zeros K memoization (the
+	// CSS format's second memoization) with the given per-worker byte
+	// budget; 0 disables it. SymProp compact kernels only.
+	CrossNZCacheBytes int64
+	// Stats, when non-nil, receives aggregated cache statistics.
+	Stats *CacheStats
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) cache() *css.Cache {
+	if o.PlanCache != nil {
+		return o.PlanCache
+	}
+	return &css.Cache{}
+}
+
+const numStripes = 1024
+
+// rowLocks is a striped lock set over output rows. Each non-zero touches at
+// most N distinct rows, so contention stays negligible for realistic I.
+type rowLocks [numStripes]sync.Mutex
+
+func (l *rowLocks) lock(row int)   { l[row%numStripes].Lock() }
+func (l *rowLocks) unlock(row int) { l[row%numStripes].Unlock() }
+
+func validate(x *spsym.Tensor, u *linalg.Matrix) error {
+	if x.Order < 2 {
+		return fmt.Errorf("kernels: order %d tensor; S3TTMc requires order >= 2", x.Order)
+	}
+	if u.Rows != x.Dim {
+		return fmt.Errorf("kernels: factor has %d rows, tensor dimension is %d", u.Rows, x.Dim)
+	}
+	if u.Cols < 1 {
+		return fmt.Errorf("kernels: factor has no columns")
+	}
+	return nil
+}
+
+// latticeBufs holds per-worker K-tensor buffers for one plan: one buffer
+// per lattice node, level-major.
+type latticeBufs struct {
+	levels [][][]float64
+}
+
+// workspace is the per-worker state: lattice buffers per plan plus reusable
+// signature scratch.
+type workspace struct {
+	byPlan  map[*css.Plan]*latticeBufs
+	values  []int32
+	sig     []int
+	compact bool
+	r       int
+	order   int
+}
+
+func newWorkspace(order, r int, compact bool) *workspace {
+	return &workspace{
+		byPlan:  make(map[*css.Plan]*latticeBufs),
+		values:  make([]int32, order),
+		sig:     make([]int, order),
+		compact: compact,
+		r:       r,
+		order:   order,
+	}
+}
+
+func (w *workspace) get(p *css.Plan) *latticeBufs {
+	if b, ok := w.byPlan[p]; ok {
+		return b
+	}
+	b := &latticeBufs{levels: make([][][]float64, len(p.Levels))}
+	for li, lvl := range p.Levels {
+		l := li + 1
+		var size int64
+		if w.compact {
+			size = dense.Count(l, w.r)
+		} else {
+			size = dense.Pow64(int64(w.r), l)
+		}
+		b.levels[li] = make([][]float64, len(lvl))
+		for n := range lvl {
+			b.levels[li][n] = make([]float64, size)
+		}
+	}
+	w.byPlan[p] = b
+	return b
+}
+
+// latticeBytes estimates one worker's buffer footprint for the
+// all-distinct signature of the given order (the widest lattice).
+func latticeBytes(order, r int, compact bool) int64 {
+	var floats int64
+	for l := 1; l <= order-1; l++ {
+		nodes := dense.Binomial(order, l)
+		var size int64
+		if compact {
+			size = dense.Count(l, r)
+		} else {
+			size = dense.Pow64(int64(r), l)
+		}
+		v := nodes * size
+		if v < 0 || floats+v < 0 {
+			return 1 << 62
+		}
+		floats += v
+	}
+	return memguard.Float64Bytes(floats)
+}
+
+// evalLattice fills b's buffers for the non-zero with the given distinct
+// values, running the Eq. (7) recursion level by level.
+func evalLattice(p *css.Plan, b *latticeBufs, values []int32, u *linalg.Matrix, compact bool, iter IterationStrategy) {
+	r := u.Cols
+	for n := range p.Levels[0] {
+		copy(b.levels[0][n], u.Row(int(values[n])))
+	}
+	outer := outerFor(iter)
+	for li := 1; li < len(p.Levels); li++ {
+		l := li + 1
+		for n := range p.Levels[li] {
+			dst := b.levels[li][n]
+			for i := range dst {
+				dst[i] = 0
+			}
+			for _, e := range p.Levels[li][n].Edges {
+				src := b.levels[li-1][e.Child]
+				urow := u.Row(int(values[e.Slot]))
+				if compact {
+					outer(l, dst, src, urow, r)
+				} else {
+					fullOuterAccum(dst, src, urow)
+				}
+			}
+		}
+	}
+}
+
+// outerFor maps an iteration strategy to its outer-product kernel;
+// IterInterpreted shares the generated loop nests.
+func outerFor(iter IterationStrategy) func(int, []float64, []float64, []float64, int) {
+	switch iter {
+	case IterRecursive:
+		return dense.OuterAccumRecursive
+	case IterIndexMapped:
+		return dense.OuterAccumIndexMapped
+	default:
+		return dense.OuterAccum
+	}
+}
+
+// fullOuterAccum is the baseline outer product on full R^l storage with the
+// new mode last and fastest: dst[a*r + j] += u[j] * src[a].
+func fullOuterAccum(dst, src, u []float64) {
+	r := len(u)
+	pos := 0
+	for _, s := range src {
+		for j := 0; j < r; j++ {
+			dst[pos] += u[j] * s
+			pos++
+		}
+	}
+}
+
+// runLattice is the shared driver: computes the K lattice for every IOU
+// non-zero and hands each top tensor to emit(row, scale, top) under the
+// per-row striped lock. Workers pull fixed-size chunks from an atomic
+// cursor (dynamic scheduling): per-non-zero lattice cost varies with the
+// multiplicity signature, so a static equal-count split can imbalance.
+func runLattice(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool,
+	emit func(row int, scale float64, top []float64)) error {
+	cache := opts.cache()
+	var locks rowLocks
+	nnz := x.NNZ()
+	workers := opts.workers()
+	if workers > nnz {
+		workers = nnz
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	var cursor atomic.Int64
+	const chunk = 64
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ws := opts.Pool.get(x.Order, u.Cols, compact)
+			defer opts.Pool.put(ws)
+			var nzc *nzCache
+			if compact && opts.CrossNZCacheBytes > 0 {
+				nzc = newNZCache(opts.CrossNZCacheBytes)
+				if opts.Stats != nil {
+					defer func() {
+						errMu.Lock()
+						opts.Stats.Hits += nzc.hits
+						opts.Stats.Misses += nzc.misses
+						errMu.Unlock()
+					}()
+				}
+			}
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= nnz {
+					return
+				}
+				hi := lo + chunk
+				if hi > nnz {
+					hi = nnz
+				}
+				for k := lo; k < hi; k++ {
+					tuple := x.IndexAt(k)
+					values, sig := css.Signature(tuple, ws.values, ws.sig)
+					plan, err := cache.Get(sig)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					bufs := ws.get(plan)
+					switch {
+					case nzc != nil:
+						evalLatticeCached(plan, bufs, values, sig, u, nzc, opts.Iteration)
+					case compact && opts.Iteration == IterGenerated &&
+						plan.Slots == plan.Order &&
+						evalDistinctGen(plan.Order, bufs, values, u, u.Cols):
+						// handled by the generated straight-line evaluator
+					default:
+						evalLattice(plan, bufs, values, u, compact, opts.Iteration)
+					}
+					topLevel := bufs.levels[len(plan.Levels)-1]
+					val := x.Values[k]
+					for slot, node := range plan.Tops {
+						row := int(values[slot])
+						locks.lock(row)
+						emit(row, val, topLevel[node])
+						locks.unlock(row)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// S3TTMcSymProp computes the SymProp S³TTMc (paper §III): the chain product
+// Y = X ×₂ Uᵀ … ×_N Uᵀ, returned in the partially symmetric compact
+// unfolding Y_p(1) of shape I x S_{N-1,R} — row k holds the IOU entries of
+// the fully symmetric order-(N-1) slice Y(k, :, …, :).
+func S3TTMcSymProp(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix, error) {
+	if err := validate(x, u); err != nil {
+		return nil, err
+	}
+	r := u.Cols
+	cols := dense.Count(x.Order-1, r)
+	yBytes := memguard.Float64Bytes(int64(x.Dim) * cols)
+	wsBytes := latticeBytes(x.Order, r, true) * int64(opts.workers())
+	if err := opts.Guard.Reserve(yBytes, "compact Y_p(1)"); err != nil {
+		return nil, err
+	}
+	defer opts.Guard.Release(yBytes)
+	if err := opts.Guard.Reserve(wsBytes, "SymProp lattice workspaces"); err != nil {
+		return nil, err
+	}
+	defer opts.Guard.Release(wsBytes)
+
+	y := linalg.NewMatrix(x.Dim, int(cols))
+	err := runLattice(x, u, opts, true, func(row int, scale float64, top []float64) {
+		dense.AxpyCompact(scale, top, y.Row(row))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// cssTreeBytes models the resident memory of the CSS format of [12], which
+// memoizes the dense K tensors *in the tree*, one per level per non-zero
+// path: unnz · Σ_{l=2}^{N-1} R^l doubles. Our evaluation is transient (per
+// worker), so the bytes are charged to the guard without being physically
+// allocated — reproducing which configurations the published CSS
+// implementation can and cannot fit (paper Figs. 4, 5; DESIGN.md §4).
+func cssTreeBytes(nnz, order, r int) int64 {
+	var floats int64
+	for l := 2; l <= order-1; l++ {
+		v := dense.Pow64(int64(r), l)
+		if floats += v; floats < 0 {
+			return 1 << 62
+		}
+	}
+	total := floats * int64(nnz)
+	if floats > 0 && total/floats != int64(nnz) {
+		return 1 << 62
+	}
+	return memguard.Float64Bytes(total)
+}
+
+// S3TTMcCSS computes the same chain product with the prior-art CSS
+// baseline: lattice memoization but full dense intermediates, returning
+// the full unfolding Y(1) of shape I x R^{N-1}.
+func S3TTMcCSS(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix, error) {
+	if err := validate(x, u); err != nil {
+		return nil, err
+	}
+	r := u.Cols
+	treeBytes := cssTreeBytes(x.NNZ(), x.Order, r)
+	if err := opts.Guard.Reserve(treeBytes, "CSS tree-resident K tensors"); err != nil {
+		return nil, err
+	}
+	defer opts.Guard.Release(treeBytes)
+	cols := dense.Pow64(int64(r), x.Order-1)
+	yBytes := memguard.Float64Bytes(int64(x.Dim) * cols)
+	wsBytes := latticeBytes(x.Order, r, false) * int64(opts.workers())
+	if err := opts.Guard.Reserve(yBytes, "full Y(1)"); err != nil {
+		return nil, err
+	}
+	defer opts.Guard.Release(yBytes)
+	if err := opts.Guard.Reserve(wsBytes, "CSS lattice workspaces"); err != nil {
+		return nil, err
+	}
+	defer opts.Guard.Release(wsBytes)
+
+	y := linalg.NewMatrix(x.Dim, int(cols))
+	err := runLattice(x, u, opts, false, func(row int, scale float64, top []float64) {
+		dense.AxpyCompact(scale, top, y.Row(row))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// ExpandCompactColumns expands a partially symmetric compact unfolding
+// Y_p(1) (I x S_{order-1,r}) to the full unfolding Y(1) (I x r^{order-1}),
+// realizing the expansion matrix E of paper Property 2. Intended for tests
+// and small cases.
+func ExpandCompactColumns(yp *linalg.Matrix, order, r int) *linalg.Matrix {
+	if want := dense.Count(order-1, r); int64(yp.Cols) != want {
+		panic(fmt.Sprintf("kernels: ExpandCompactColumns: matrix has %d columns, but order %d rank %d implies %d",
+			yp.Cols, order, r, want))
+	}
+	symOrder := order - 1
+	fullCols := int(dense.Pow64(int64(r), symOrder))
+	out := linalg.NewMatrix(yp.Rows, fullCols)
+	// Precompute the compact rank of every full column once.
+	ranks := make([]int64, fullCols)
+	digits := make([]int, symOrder)
+	for lin := 0; lin < fullCols; lin++ {
+		rem := lin
+		for a := symOrder - 1; a >= 0; a-- {
+			digits[a] = rem % r
+			rem /= r
+		}
+		s := dense.SortedCopy(digits)
+		ranks[lin] = dense.Rank(s, r)
+	}
+	linalg.ParallelFor(yp.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := yp.Row(i)
+			dst := out.Row(i)
+			for lin, rk := range ranks {
+				dst[lin] = src[rk]
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,60 @@
+package kernels
+
+import (
+	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// S3TTMcUCOO is the UCOO-format baseline of Shivakumar et al. [11]: the
+// input is compressed (IOU non-zeros only) but the computation is not —
+// every distinct permutation of every non-zero is streamed and its full
+// Kronecker chain accumulated into Y(1). No memoization between or within
+// permutations: cost O(Σ_l R^l) per *expanded* non-zero, memory only for
+// the output and one per-worker Kronecker scratch.
+//
+// It completes the format-baseline set (SPLATT/CSF, UCOO, CSS, SymProp)
+// and shows where each of CSS's two memoizations pays off.
+func S3TTMcUCOO(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix, error) {
+	if err := validate(x, u); err != nil {
+		return nil, err
+	}
+	r := u.Cols
+	cols := dense.Pow64(int64(r), x.Order-1)
+	yBytes := memguard.Float64Bytes(int64(x.Dim) * cols)
+	wsBytes := memguard.Float64Bytes(cols) * int64(opts.workers())
+	if err := opts.Guard.Reserve(yBytes, "UCOO full Y(1)"); err != nil {
+		return nil, err
+	}
+	defer opts.Guard.Release(yBytes)
+	if err := opts.Guard.Reserve(wsBytes, "UCOO kron scratch"); err != nil {
+		return nil, err
+	}
+	defer opts.Guard.Release(wsBytes)
+
+	y := linalg.NewMatrix(x.Dim, int(cols))
+	var locks rowLocks
+	linalg.ParallelForWorkers(x.NNZ(), opts.workers(), func(lo, hi int) {
+		kron := make([]float64, cols)
+		sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
+			Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
+		sub.ForEachExpanded(func(idx []int32, val float64) {
+			kronRows(u, idx[1:], kron)
+			row := int(idx[0])
+			locks.lock(row)
+			dense.AxpyCompact(val, kron, y.Row(row))
+			locks.unlock(row)
+		})
+	})
+	return y, nil
+}
+
+// EstimateUCOOBytes returns the UCOO kernel footprint: full Y(1) plus
+// per-worker Kronecker scratch.
+func EstimateUCOOBytes(x *spsym.Tensor, rank, workers int) int64 {
+	cols := dense.Pow64(int64(rank), x.Order-1)
+	y := memguard.Float64Bytes(int64(x.Dim) * cols)
+	ws := memguard.Float64Bytes(cols) * int64(workers)
+	return satBytes(y, ws)
+}

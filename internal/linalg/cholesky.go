@@ -1,0 +1,105 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky for non-SPD input.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ of a
+// symmetric positive-definite matrix. A is not modified.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d += v * v
+		}
+		d = a.At(j, j) - d
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, (a.At(i, j)-s)/ljj)
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves A·X = B for symmetric positive-definite A via Cholesky,
+// where B has one column per right-hand side. When A is singular or
+// near-singular it retries with a small ridge (A + eps·tr(A)/n·I), which is
+// the standard regularization in ALS solvers.
+func SolveSPD(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("linalg: SolveSPD shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		// Ridge fallback.
+		n := a.Rows
+		var trace float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		ridge := 1e-12 * (trace/float64(n) + 1)
+		reg := a.Clone()
+		for attempt := 0; attempt < 16; attempt++ {
+			for i := 0; i < n; i++ {
+				reg.Set(i, i, reg.At(i, i)+ridge)
+			}
+			if l, err = Cholesky(reg); err == nil {
+				break
+			}
+			ridge *= 10
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Forward substitution L·Y = B, then backward Lᵀ·X = Y.
+	n := a.Rows
+	m := b.Cols
+	x := b.Clone()
+	for c := 0; c < m; c++ {
+		for i := 0; i < n; i++ {
+			s := x.At(i, c)
+			for k := 0; k < i; k++ {
+				s -= l.At(i, k) * x.At(k, c)
+			}
+			x.Set(i, c, s/l.At(i, i))
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := x.At(i, c)
+			for k := i + 1; k < n; k++ {
+				s -= l.At(k, i) * x.At(k, c)
+			}
+			x.Set(i, c, s/l.At(i, i))
+		}
+	}
+	return x, nil
+}
+
+// SolveSPDVector solves A·x = b for a single right-hand side.
+func SolveSPDVector(a *Matrix, b []float64) ([]float64, error) {
+	bm := NewMatrixFrom(len(b), 1, append([]float64(nil), b...))
+	x, err := SolveSPD(a, bm)
+	if err != nil {
+		return nil, err
+	}
+	return x.Data, nil
+}

@@ -1,0 +1,102 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func spdMatrix(n int, rng *rand.Rand) *Matrix {
+	b := RandomNormal(n, n, rng)
+	a := MulNT(b, b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n)) // well-conditioned
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		a := spdMatrix(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := MaxAbsDiff(MulNT(l, l), a); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: ||LLᵀ - A|| = %v", n, d)
+		}
+		// L must be lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("n=%d: L not lower triangular", n)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Error("indefinite matrix must fail")
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square must fail")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := spdMatrix(8, rng)
+	want := RandomNormal(8, 3, rng)
+	b := Mul(a, want)
+	got, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(got, want); d > 1e-8 {
+		t.Errorf("SolveSPD residual %v", d)
+	}
+}
+
+func TestSolveSPDSingularRidge(t *testing.T) {
+	// Rank-1 Gram: singular, must still solve approximately via ridge.
+	v := NewMatrixFrom(3, 1, []float64{1, 2, 3})
+	a := MulNT(v, v)
+	b := NewMatrixFrom(3, 1, []float64{1, 2, 3})
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A·x should be close to b in the range of A (b is in the range).
+	ax := Mul(a, x)
+	if d := MaxAbsDiff(ax, b); d > 1e-3 {
+		t.Errorf("ridge solve residual %v", d)
+	}
+}
+
+func TestSolveSPDVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := spdMatrix(5, rng)
+	want := []float64{1, -2, 3, 0.5, -1}
+	b := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		for k := 0; k < 5; k++ {
+			b[i] += a.At(i, k) * want[k]
+		}
+	}
+	got, err := SolveSPDVector(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := SolveSPDVector(a, []float64{1}); err == nil {
+		t.Error("shape mismatch must fail")
+	}
+}

@@ -1,0 +1,141 @@
+package linalg
+
+import "fmt"
+
+// This file implements the GEMM variants the Tucker drivers use. All of
+// them parallelize over output rows via ParallelFor and keep the innermost
+// loop running over contiguous memory (row-major everywhere), which is the
+// standard cache-friendly ikj ordering.
+
+// Mul returns C = A·B.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	ParallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MulTN returns C = Aᵀ·B (C is a.Cols x b.Cols). Rows of A and B are read
+// contiguously; the accumulation parallelizes over blocks of A's columns by
+// splitting the K dimension across workers with private accumulators would
+// race, so it instead parallelizes over output rows with a strided pass.
+func MulTN(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("linalg: MulTN shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Cols, b.Cols)
+	// Each worker owns a contiguous band of C's rows (columns of A) and
+	// streams through all rows of A and B once.
+	ParallelFor(c.Rows, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c.Row(i)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MulNT returns C = A·Bᵀ (C is a.Rows x b.Rows). Both operands stream
+// row-contiguously; each output element is a dot product of two rows.
+func MulNT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: MulNT shape mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Rows)
+	ParallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				crow[j] = s
+			}
+		}
+	})
+	return c
+}
+
+// MulNTWeighted returns C = A·diag(w)·Bᵀ, the workhorse of paper Property 3
+// (A = Y_p(1)·diag(p)·C_p(1)ᵀ) and of the Gram trick in HOOI
+// (G = Y_p(1)·diag(p)·Y_p(1)ᵀ). len(w) must equal a.Cols == b.Cols.
+func MulNTWeighted(a, b *Matrix, w []float64) *Matrix {
+	if a.Cols != b.Cols || len(w) != a.Cols {
+		panic(fmt.Sprintf("linalg: MulNTWeighted shape mismatch %dx%d, %dx%d, |w|=%d", a.Rows, a.Cols, b.Rows, b.Cols, len(w)))
+	}
+	c := NewMatrix(a.Rows, b.Rows)
+	ParallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * w[k] * brow[k]
+				}
+				crow[j] = s
+			}
+		}
+	})
+	return c
+}
+
+// GramWeighted returns G = A·diag(w)·Aᵀ exploiting symmetry: only the upper
+// triangle is computed and mirrored.
+func GramWeighted(a *Matrix, w []float64) *Matrix {
+	if len(w) != a.Cols {
+		panic("linalg: GramWeighted weight length mismatch")
+	}
+	g := NewMatrix(a.Rows, a.Rows)
+	ParallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			grow := g.Row(i)
+			for j := i; j < a.Rows; j++ {
+				brow := a.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * w[k] * brow[k]
+				}
+				grow[j] = s
+			}
+		}
+	})
+	// Mirror the strict upper triangle into the lower.
+	for i := 0; i < a.Rows; i++ {
+		for j := i + 1; j < a.Rows; j++ {
+			g.Data[j*g.Cols+i] = g.Data[i*g.Cols+j]
+		}
+	}
+	return g
+}

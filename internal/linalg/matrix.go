@@ -1,0 +1,140 @@
+// Package linalg is the dense linear-algebra substrate of this module: a
+// row-major matrix type, parallel blocked matrix multiplication, Householder
+// QR, symmetric eigendecomposition, and the truncated SVD helpers the Tucker
+// drivers need. The paper links against OpenBLAS; this package is the
+// pure-Go, stdlib-only stand-in (see DESIGN.md §4).
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix: element (i, j) lives at Data[i*Cols+j].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom wraps existing backing storage, which must have length
+// rows*cols. The matrix shares the slice.
+func NewMatrixFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a shared sub-slice.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+// Zero resets every element.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// T returns a newly allocated transpose.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns sqrt(sum of squares).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// two equally shaped matrices; used heavily by tests.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: MaxAbsDiff shape mismatch")
+	}
+	var d float64
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// RandomNormal fills a matrix with N(0,1) draws from the given source.
+func RandomNormal(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// RandomOrthonormal returns a rows x cols matrix with orthonormal columns
+// (rows >= cols), built by QR of a Gaussian matrix.
+func RandomOrthonormal(rows, cols int, rng *rand.Rand) *Matrix {
+	if rows < cols {
+		panic("linalg: RandomOrthonormal needs rows >= cols")
+	}
+	g := RandomNormal(rows, cols, rng)
+	q, _ := QRThin(g)
+	return q
+}
+
+// Identity returns the n x n identity.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// OrthonormalityError returns max |QᵀQ - I| over all entries, a scalar
+// orthonormality diagnostic.
+func OrthonormalityError(q *Matrix) float64 {
+	g := MulTN(q, q)
+	var worst float64
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if d := math.Abs(g.At(i, j) - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

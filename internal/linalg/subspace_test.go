@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSubspaceIterationRecoversSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40
+	q := RandomOrthonormal(n, n, rng)
+	d := NewMatrix(n, n)
+	// Well-separated PSD spectrum: 100, 50, 25, then small tail.
+	for i := 0; i < n; i++ {
+		d.Set(i, i, 100/math.Pow(2, float64(i)))
+	}
+	a := Mul(Mul(q, d), q.T())
+	op := func(x, out []float64) {
+		for i := 0; i < n; i++ {
+			var s float64
+			row := a.Row(i)
+			for k, v := range x {
+				s += row[k] * v
+			}
+			out[i] = s
+		}
+	}
+	values, vectors, err := SubspaceIteration(op, n, 3, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100, 50, 25}
+	for i := range want {
+		if math.Abs(values[i]-want[i]) > 1e-6*want[i] {
+			t.Errorf("eigenvalue %d = %v, want %v", i, values[i], want[i])
+		}
+	}
+	if e := OrthonormalityError(vectors); e > 1e-8 {
+		t.Errorf("Ritz vectors not orthonormal: %v", e)
+	}
+	// Residual ||A v - lambda v|| per pair.
+	out := make([]float64, n)
+	col := make([]float64, n)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < n; i++ {
+			col[i] = vectors.At(i, c)
+		}
+		op(col, out)
+		for i := 0; i < n; i++ {
+			if math.Abs(out[i]-values[c]*col[i]) > 1e-5 {
+				t.Fatalf("pair %d residual too large at row %d", c, i)
+			}
+		}
+	}
+}
+
+func TestSubspaceIterationAgreesWithDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 25
+	// PSD matrix B·Bᵀ.
+	b := RandomNormal(n, n, rng)
+	a := MulNT(b, b)
+	op := func(x, out []float64) {
+		for i := 0; i < n; i++ {
+			var s float64
+			row := a.Row(i)
+			for k, v := range x {
+				s += row[k] * v
+			}
+			out[i] = s
+		}
+	}
+	values, _, err := SubspaceIteration(op, n, 4, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, _, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(values[i]-dense[i]) > 1e-6*(1+dense[i]) {
+			t.Errorf("eigenvalue %d: subspace %v vs dense %v", i, values[i], dense[i])
+		}
+	}
+}
+
+func TestSubspaceIterationSmallDim(t *testing.T) {
+	// dim == r: the block clamps to dim.
+	a := NewMatrixFrom(2, 2, []float64{2, 0, 0, 1})
+	op := func(x, out []float64) {
+		out[0] = 2 * x[0]
+		out[1] = x[1]
+	}
+	values, _, err := SubspaceIteration(op, 2, 2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	if math.Abs(values[0]-2) > 1e-9 || math.Abs(values[1]-1) > 1e-9 {
+		t.Errorf("values = %v, want [2 1]", values)
+	}
+}
+
+func TestSubspaceIterationValidation(t *testing.T) {
+	op := func(x, out []float64) { copy(out, x) }
+	if _, _, err := SubspaceIteration(op, 5, 0, 10, 1); err == nil {
+		t.Error("rank 0 must fail")
+	}
+	if _, _, err := SubspaceIteration(op, 5, 6, 10, 1); err == nil {
+		t.Error("rank > dim must fail")
+	}
+}

@@ -1,0 +1,112 @@
+package memguard
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReserveWithinBudget(t *testing.T) {
+	g := New(100)
+	if err := g.Reserve(60, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Reserve(40, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Used() != 100 {
+		t.Errorf("Used = %d, want 100", g.Used())
+	}
+}
+
+func TestReserveExceedsBudget(t *testing.T) {
+	g := New(100)
+	if err := g.Reserve(101, "big"); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("want ErrOutOfMemory, got %v", err)
+	}
+	if err := g.Reserve(60, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Reserve(60, "b"); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("cumulative overflow: want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	g := New(100)
+	if err := g.Reserve(80, "a"); err != nil {
+		t.Fatal(err)
+	}
+	g.Release(50)
+	if g.Used() != 30 {
+		t.Errorf("Used = %d, want 30", g.Used())
+	}
+	g.Release(1000)
+	if g.Used() != 0 {
+		t.Errorf("Used after over-release = %d, want 0", g.Used())
+	}
+}
+
+func TestUnlimitedGuard(t *testing.T) {
+	for _, g := range []*Guard{nil, New(0), New(-5), {}} {
+		if err := g.Reserve(1<<55, "huge"); err != nil {
+			t.Errorf("unlimited guard rejected allocation: %v", err)
+		}
+		if g.Budget() != 0 {
+			t.Errorf("unlimited guard Budget = %d, want 0", g.Budget())
+		}
+	}
+}
+
+func TestNegativeReservationFails(t *testing.T) {
+	g := New(100)
+	if err := g.Reserve(-1, "saturated"); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("negative (saturated) size must fail: %v", err)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"123": 123, "1K": 1 << 10, "2k": 2 << 10,
+		"3M": 3 << 20, "4G": 4 << 30, "0": 0,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-1", "1T5"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv("SYMPROP_MEM_BUDGET", "64M")
+	if g := FromEnv(); g.Budget() != 64<<20 {
+		t.Errorf("FromEnv budget = %d, want %d", g.Budget(), 64<<20)
+	}
+	t.Setenv("SYMPROP_MEM_BUDGET", "")
+	if g := FromEnv(); g.Budget() != DefaultBudget {
+		t.Errorf("unset env: budget = %d, want default", g.Budget())
+	}
+	t.Setenv("SYMPROP_MEM_BUDGET", "garbage")
+	if g := FromEnv(); g.Budget() != DefaultBudget {
+		t.Errorf("bad env: budget = %d, want default", g.Budget())
+	}
+	t.Setenv("SYMPROP_MEM_BUDGET", "0")
+	if g := FromEnv(); g.Budget() != 0 {
+		t.Errorf("zero env: budget = %d, want unlimited", g.Budget())
+	}
+}
+
+func TestFloat64Bytes(t *testing.T) {
+	if Float64Bytes(10) != 80 {
+		t.Error("Float64Bytes(10) != 80")
+	}
+	g := New(1 << 40)
+	if err := g.Reserve(Float64Bytes(1<<61), "sat"); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("saturated float count must be rejected: %v", err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package plot renders the benchmark harness's sweep and convergence data
+// as static SVG line charts, so `symprop-bench -svgdir` regenerates the
+// paper's figures as figures, not just tables.
+//
+// The visual design follows a fixed, pre-validated categorical palette
+// (colorblind-safe ordering; worst adjacent CVD ΔE 24.2 in light mode) with
+// the standard mark rules: 2px lines, 8px markers, recessive grid, one
+// y-axis, a legend plus direct end-labels for series identity (never color
+// alone), and log scales for data spanning decades. Kernels are bound to
+// palette slots by identity — SymProp is always slot 1 regardless of which
+// baselines appear — so colors never repaint across figures.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Palette slots in fixed order (validated reference palette, light mode).
+var seriesColors = []string{
+	"#2a78d6", // slot 1: blue
+	"#1baf7a", // slot 2: aqua
+	"#eda100", // slot 3: yellow
+	"#008300", // slot 4: green
+	"#4a3aa7", // slot 5: violet
+	"#e34948", // slot 6: red
+}
+
+const (
+	surfaceColor  = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridColor     = "#e4e3df"
+	axisColor     = "#c3c2b7"
+	chartWidth    = 720
+	chartHeight   = 440
+	marginLeft    = 72
+	marginRight   = 150 // room for direct end-labels + legend
+	marginTop     = 48
+	marginBottom  = 56
+)
+
+// Series is one line: points with NaN Y values break the line (used for
+// OOM/skip gaps). Slot pins the series to a fixed palette slot so an
+// entity keeps its color across figures; -1 assigns by position.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	Slot int
+	// Scatter suppresses the connecting line (categorical x positions,
+	// e.g. per-dataset comparisons, where a line would imply a trend).
+	Scatter bool
+}
+
+// Chart is a single-axis line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// WriteSVG renders the chart. It returns an error only for structurally
+// empty charts; numerical degeneracies (all-NaN series) render as empty
+// plots with axes.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+
+	xPos := func(x float64) float64 {
+		return float64(marginLeft) + c.scale(x, xmin, xmax, c.LogX)*plotW
+	}
+	yPos := func(y float64) float64 {
+		return float64(marginTop) + (1-c.scale(y, ymin, ymax, c.LogY))*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n",
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", chartWidth, chartHeight, surfaceColor)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="600" fill="%s">%s</text>`+"\n",
+		marginLeft, textPrimary, escape(c.Title))
+
+	// Grid and ticks (recessive), y then x.
+	for _, t := range ticks(ymin, ymax, c.LogY) {
+		y := yPos(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			marginLeft, y, chartWidth-marginRight, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginLeft-8, y, textSecondary, formatTick(t))
+	}
+	for _, t := range ticks(xmin, xmax, c.LogX) {
+		x := xPos(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			x, marginTop, x, chartHeight-marginBottom, gridColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			x, chartHeight-marginBottom+18, textSecondary, formatTick(t))
+	}
+	// Axis lines (single y-axis).
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+		marginLeft, chartHeight-marginBottom, chartWidth-marginRight, chartHeight-marginBottom, axisColor)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+		marginLeft, marginTop, marginLeft, chartHeight-marginBottom, axisColor)
+	// Axis labels (text tokens, never series colors).
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" fill="%s" text-anchor="middle">%s</text>`+"\n",
+		float64(marginLeft)+plotW/2, chartHeight-14, textSecondary, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" fill="%s" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		float64(marginTop)+plotH/2, textSecondary, float64(marginTop)+plotH/2, escape(c.YLabel))
+
+	// Series: 2px lines, 8px (r=4) markers, NaN-separated segments.
+	for si, s := range c.Series {
+		color := colorFor(s, si)
+		var seg []string
+		flush := func() {
+			if len(seg) >= 2 && !s.Scatter {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`+"\n",
+					strings.Join(seg, " "), color)
+			}
+			seg = seg[:0]
+		}
+		var lastX, lastY float64
+		has := false
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				flush()
+				continue
+			}
+			px, py := xPos(s.X[i]), yPos(s.Y[i])
+			seg = append(seg, fmt.Sprintf("%.1f,%.1f", px, py))
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="%s" stroke-width="2"/>`+"\n",
+				px, py, color, surfaceColor)
+			lastX, lastY = px, py
+			has = true
+		}
+		flush()
+		// Direct end-label (identity is never color alone).
+		if has {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" dominant-baseline="middle">%s</text>`+"\n",
+				lastX+10, lastY, textPrimary, escape(s.Name))
+		}
+	}
+
+	// Legend (always present for >= 2 series), top-right.
+	if len(c.Series) >= 2 {
+		lx := chartWidth - marginRight + 14
+		ly := marginTop + 4
+		for si, s := range c.Series {
+			color := colorFor(s, si)
+			fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+				lx, ly+si*18, lx+16, ly+si*18, color)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s" dominant-baseline="middle">%s</text>`+"\n",
+				lx+22, ly+si*18, textPrimary, escape(s.Name))
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// colorFor pins a series to its slot, falling back to position.
+func colorFor(s Series, pos int) string {
+	slot := s.Slot
+	if slot < 0 || slot >= len(seriesColors) {
+		slot = pos % len(seriesColors)
+	}
+	return seriesColors[slot]
+}
+
+// scale maps v into [0,1] over [lo,hi], optionally logarithmically.
+func (c *Chart) scale(v, lo, hi float64, log bool) float64 {
+	if log {
+		v, lo, hi = math.Log10(v), math.Log10(lo), math.Log10(hi)
+	}
+	if hi == lo {
+		return 0.5
+	}
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// bounds computes data extents over finite points, with padding and
+// log-safety (positive floors for log axes).
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // no finite points at all
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if c.LogX && xmin <= 0 {
+		xmin = 1e-12
+	}
+	if c.LogY && ymin <= 0 {
+		ymin = 1e-12
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin * 2
+		if ymax == 0 {
+			ymax = 1
+		}
+	}
+	return
+}
+
+// ticks produces 4-6 tick positions: decades on log axes, "nice" steps on
+// linear axes.
+func ticks(lo, hi float64, log bool) []float64 {
+	if log {
+		var out []float64
+		start := math.Floor(math.Log10(lo))
+		end := math.Ceil(math.Log10(hi))
+		for e := start; e <= end; e++ {
+			t := math.Pow(10, e)
+			if t >= lo/1.001 && t <= hi*1.001 {
+				out = append(out, t)
+			}
+		}
+		if len(out) < 2 {
+			out = []float64{lo, hi}
+		}
+		return out
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if span/(step*m) <= 6 {
+			step *= m
+			break
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi*1.0001; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.0e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.1f", v), "0"), ".")
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Save writes the chart to path.
+func (c *Chart) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteSVG(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SortSeriesByName gives deterministic output when series are assembled
+// from maps.
+func (c *Chart) SortSeriesByName() {
+	sort.SliceStable(c.Series, func(a, b int) bool { return c.Series[a].Name < c.Series[b].Name })
+}

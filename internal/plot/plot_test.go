@@ -1,0 +1,194 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title: "runtime vs rank", XLabel: "rank", YLabel: "seconds", LogY: true,
+		Series: []Series{
+			{Name: "SymProp", X: []float64{2, 4, 8}, Y: []float64{0.01, 0.08, 0.7}, Slot: 0},
+			{Name: "CSS", X: []float64{2, 4, 8}, Y: []float64{0.02, 0.4, math.NaN()}, Slot: 2},
+		},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "circle", "runtime vs rank", "SymProp", "CSS", "rank", "seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestNaNBreaksLine(t *testing.T) {
+	c := &Chart{
+		Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{1, 2, 3, 4, 5},
+			Y:    []float64{1, 2, math.NaN(), 4, 5},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Two polylines (segments around the gap), four markers.
+	out := buf.String()
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 4 {
+		t.Errorf("marker count = %d, want 4", got)
+	}
+}
+
+func TestSingleSeriesHasNoLegendBox(t *testing.T) {
+	c := &Chart{
+		Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "only", X: []float64{1, 2}, Y: []float64{1, 2}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The name still appears once as the direct end-label.
+	if got := strings.Count(buf.String(), ">only<"); got != 1 {
+		t.Errorf("series name appears %d times, want 1 (direct label only)", got)
+	}
+}
+
+func TestLegendForMultipleSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Name appears twice: direct end-label + legend entry.
+	if got := strings.Count(buf.String(), ">SymProp<"); got != 2 {
+		t.Errorf("SymProp appears %d times, want 2 (label + legend)", got)
+	}
+}
+
+func TestFixedSlotColors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// SymProp pinned to slot 0 (blue), CSS pinned to slot 2 (yellow),
+	// regardless of series order.
+	if !strings.Contains(out, seriesColors[0]) || !strings.Contains(out, seriesColors[2]) {
+		t.Error("pinned slot colors missing")
+	}
+	if strings.Contains(out, seriesColors[1]) {
+		t.Error("unpinned slot color should not appear")
+	}
+}
+
+func TestEmptyChartFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{Title: "empty"}).WriteSVG(&buf); err == nil {
+		t.Error("empty chart should fail")
+	}
+}
+
+func TestAllNaNSeriesRenders(t *testing.T) {
+	c := &Chart{
+		Title: "t", XLabel: "x", YLabel: "y", LogY: true,
+		Series: []Series{{Name: "dead", X: []float64{1, 2}, Y: []float64{math.NaN(), math.NaN()}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatalf("all-NaN series should still render axes: %v", err)
+	}
+}
+
+func TestTicks(t *testing.T) {
+	// Log decades.
+	lt := ticks(0.01, 10, true)
+	if len(lt) < 3 {
+		t.Errorf("log ticks %v too few", lt)
+	}
+	for _, v := range lt {
+		e := math.Log10(v)
+		if math.Abs(e-math.Round(e)) > 1e-9 {
+			t.Errorf("log tick %v not a decade", v)
+		}
+	}
+	// Linear nice steps cover the range.
+	nt := ticks(0, 47, false)
+	if len(nt) < 3 || len(nt) > 8 {
+		t.Errorf("linear ticks %v have odd count", nt)
+	}
+	if nt[0] < 0 || nt[len(nt)-1] > 47.01 {
+		t.Errorf("linear ticks %v exceed range", nt)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 100: "100", 2.5: "2.5", 0.01: "0.01", 1e7: "1e+07"}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b&"c"`) != "a&lt;b&amp;&quot;c&quot;" {
+		t.Errorf("escape wrong: %q", escape(`a<b&"c"`))
+	}
+}
+
+func TestSaveAndSort(t *testing.T) {
+	c := sampleChart()
+	c.Series[0], c.Series[1] = c.Series[1], c.Series[0]
+	c.SortSeriesByName()
+	if c.Series[0].Name != "CSS" {
+		t.Error("sort by name failed")
+	}
+	path := filepath.Join(t.TempDir(), "chart.svg")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterSeriesHasNoLine(t *testing.T) {
+	c := &Chart{
+		Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}, Scatter: true}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<polyline") {
+		t.Error("scatter series must not draw a line")
+	}
+	if strings.Count(buf.String(), "<circle") != 3 {
+		t.Error("scatter markers missing")
+	}
+}

@@ -1,0 +1,136 @@
+package spsym
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/symprop/symprop/internal/dense"
+)
+
+// ReadCOO parses a general sparse tensor in the FROSTT .tns convention —
+// one "i1 i2 ... iN value" line per non-zero, 1-based indices, no header —
+// and compresses it to the symmetric UCOO format. The order is inferred
+// from the first data line and the dimension from the largest index.
+//
+// General tensors list every permutation of a symmetric entry explicitly
+// (and real exports are often noisy), so symmetrization policy matters:
+//
+//   - tol >= 0: entries that sort to the same IOU tuple must agree within
+//     |a-b| <= tol·max(|a|,|b|, 1); disagreement is an error. Duplicates
+//     collapse to their mean. Use tol = 0 for exact duplicates.
+//   - tol < 0: no checking; duplicates collapse to their mean
+//     (forced symmetrization of an asymmetric tensor).
+func ReadCOO(r io.Reader, tol float64) (*Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	type acc struct {
+		sum   float64
+		min   float64
+		max   float64
+		count int64
+	}
+	entries := make(map[string]*acc)
+	order := 0
+	dim := 0
+	line := 0
+	var key []byte
+	var idx []int
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if order == 0 {
+			order = len(fields) - 1
+			if order < 1 || order > dense.MaxOrder {
+				return nil, fmt.Errorf("spsym: line %d: order %d out of range [1,%d]", line, order, dense.MaxOrder)
+			}
+			key = make([]byte, order*4)
+			idx = make([]int, order)
+		}
+		if len(fields) != order+1 {
+			return nil, fmt.Errorf("spsym: line %d: want %d fields, got %d", line, order+1, len(fields))
+		}
+		for i := 0; i < order; i++ {
+			v, err := strconv.Atoi(fields[i])
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("spsym: line %d: bad index %q", line, fields[i])
+			}
+			idx[i] = v - 1
+			if v > dim {
+				dim = v
+			}
+		}
+		val, err := strconv.ParseFloat(fields[order], 64)
+		if err != nil {
+			return nil, fmt.Errorf("spsym: line %d: bad value %q: %v", line, fields[order], err)
+		}
+		dense.SortIndex(idx)
+		encodeKey(idx, key)
+		a := entries[string(key)]
+		if a == nil {
+			a = &acc{min: val, max: val}
+			entries[string(key)] = a
+		} else {
+			if val < a.min {
+				a.min = val
+			}
+			if val > a.max {
+				a.max = val
+			}
+		}
+		a.sum += val
+		a.count++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spsym: read: %w", err)
+	}
+	if order == 0 {
+		return nil, fmt.Errorf("spsym: empty COO input")
+	}
+
+	t := New(order, dim)
+	for keyStr, a := range entries {
+		if tol >= 0 {
+			spread := a.max - a.min
+			scale := math.Max(math.Max(math.Abs(a.max), math.Abs(a.min)), 1)
+			if spread > tol*scale {
+				return nil, fmt.Errorf("spsym: asymmetric input: permutations of one entry span [%g, %g] (tol %g); pass a negative tol to force symmetrization", a.min, a.max, tol)
+			}
+		}
+		for i := 0; i < order; i++ {
+			b := keyStr[i*4 : i*4+4]
+			idx[i] = int(int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24))
+		}
+		t.Append(idx, a.sum/float64(a.count))
+	}
+	t.Canonicalize()
+	return t, nil
+}
+
+// NormalizeByDegree returns a copy of t with each non-zero scaled by
+// 1/sqrt(deg(i1)·…·deg(iN)) — the symmetric normalization of spectral
+// hypergraph clustering, which equalizes the influence of high-degree
+// nodes before decomposition. Zero-degree indices cannot appear in any
+// non-zero, so no division by zero occurs.
+func (t *Tensor) NormalizeByDegree() *Tensor {
+	deg := t.Degrees()
+	out := t.Clone()
+	for k := 0; k < out.NNZ(); k++ {
+		tuple := out.IndexAt(k)
+		scale := 1.0
+		for _, v := range tuple {
+			scale *= float64(deg[v])
+		}
+		out.Values[k] /= math.Sqrt(scale)
+	}
+	return out
+}

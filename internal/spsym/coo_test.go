@@ -1,0 +1,152 @@
+package spsym
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestReadCOOSymmetricInput(t *testing.T) {
+	// All 6 permutations of (1,2,3) plus a diagonal entry, 1-based.
+	input := `1 2 3 5.0
+1 3 2 5.0
+2 1 3 5.0
+2 3 1 5.0
+3 1 2 5.0
+3 2 1 5.0
+2 2 2 7.0
+`
+	x, err := ReadCOO(strings.NewReader(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order != 3 || x.Dim != 3 || x.NNZ() != 2 {
+		t.Fatalf("order=%d dim=%d nnz=%d", x.Order, x.Dim, x.NNZ())
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// (0,1,2) -> 5.0; (1,1,1) -> 7.0.
+	if x.Values[0] != 5.0 || x.Values[1] != 7.0 {
+		t.Errorf("values = %v", x.Values)
+	}
+}
+
+func TestReadCOOPartialPermutations(t *testing.T) {
+	// Only one representative listed: still fine (count 1).
+	x, err := ReadCOO(strings.NewReader("3 1 2 4.5\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() != 1 || x.Values[0] != 4.5 {
+		t.Fatalf("nnz=%d values=%v", x.NNZ(), x.Values)
+	}
+	tuple := x.IndexAt(0)
+	if tuple[0] != 0 || tuple[1] != 1 || tuple[2] != 2 {
+		t.Errorf("tuple = %v, want [0 1 2]", tuple)
+	}
+}
+
+func TestReadCOORejectsAsymmetric(t *testing.T) {
+	input := "1 2 3.0\n2 1 4.0\n"
+	if _, err := ReadCOO(strings.NewReader(input), 1e-9); err == nil {
+		t.Error("asymmetric input must fail with non-negative tol")
+	}
+	// Forced symmetrization averages.
+	x, err := ReadCOO(strings.NewReader(input), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x.Values[0]-3.5) > 1e-15 {
+		t.Errorf("forced symmetrization value = %v, want 3.5", x.Values[0])
+	}
+}
+
+func TestReadCOOToleranceAccepts(t *testing.T) {
+	input := "1 2 3.0\n2 1 3.0000001\n"
+	x, err := ReadCOO(strings.NewReader(input), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() != 1 {
+		t.Fatal("near-duplicates should merge")
+	}
+}
+
+func TestReadCOOErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"comments only": "# nothing\n",
+		"no value":      "3\n",
+		"bad index":     "x 2 1.0\n",
+		"zero index":    "0 2 1.0\n",
+		"bad value":     "1 2 abc\n",
+		"ragged arity":  "1 2 1.0\n1 2 3 1.0\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCOO(strings.NewReader(input), 0); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCOOMatchesRoundTrip(t *testing.T) {
+	// Expand a random symmetric tensor to COO text and read it back.
+	ts, err := Random(RandomOptions{Order: 3, Dim: 6, NNZ: 10, Seed: 5, Values: ValueNormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	ts.ForEachExpanded(func(idx []int32, val float64) {
+		for _, v := range idx {
+			fmtInt(&sb, int(v)+1)
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconvFormat(val))
+		sb.WriteByte('\n')
+	})
+	got, err := ReadCOO(strings.NewReader(sb.String()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != ts.NNZ() {
+		t.Fatalf("nnz = %d, want %d", got.NNZ(), ts.NNZ())
+	}
+	for k := 0; k < ts.NNZ(); k++ {
+		if math.Abs(got.Values[k]-ts.Values[k]) > 1e-12 {
+			t.Fatalf("value %d = %v, want %v", k, got.Values[k], ts.Values[k])
+		}
+	}
+}
+
+func fmtInt(sb *strings.Builder, v int) {
+	sb.WriteString(strconv.Itoa(v))
+}
+
+func strconvFormat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 17, 64)
+}
+
+func TestNormalizeByDegree(t *testing.T) {
+	ts := New(2, 3)
+	ts.Append([]int{0, 1}, 4.0)
+	ts.Append([]int{1, 2}, 9.0)
+	ts.Canonicalize()
+	// Degrees: node0=1, node1=2, node2=1.
+	n := ts.NormalizeByDegree()
+	// (0,1): 4/sqrt(1*2); (1,2): 9/sqrt(2*1).
+	if math.Abs(n.Values[0]-4/math.Sqrt2) > 1e-15 {
+		t.Errorf("value0 = %v", n.Values[0])
+	}
+	if math.Abs(n.Values[1]-9/math.Sqrt2) > 1e-15 {
+		t.Errorf("value1 = %v", n.Values[1])
+	}
+	// Original untouched.
+	if ts.Values[0] != 4.0 {
+		t.Error("NormalizeByDegree must not mutate the receiver")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package spsym
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrom hardens the text parser: arbitrary input must either parse
+// into a valid tensor or return an error — never panic, never produce a
+// tensor that fails Validate.
+func FuzzReadFrom(f *testing.F) {
+	f.Add("sym 2 3 2\n1 2 1.5\n3 3 -2.0\n")
+	f.Add("sym 1 1 1\n1 0.5\n")
+	f.Add("# comment\nsym 3 4 0\n")
+	f.Add("sym 2 3 1\n2 1 1e308\n")
+	f.Add("sym 16 2 1\n1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ts, err := ReadFrom(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := ts.Validate(); verr != nil {
+			t.Fatalf("parsed tensor fails validation: %v\ninput: %q", verr, input)
+		}
+	})
+}
+
+// FuzzReadBinary hardens the binary parser the same way.
+func FuzzReadBinary(f *testing.F) {
+	ts, _ := Random(RandomOptions{Order: 3, Dim: 5, NNZ: 5, Seed: 1})
+	var buf bytes.Buffer
+	_ = ts.WriteBinary(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("SYMTNSR1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("parsed binary tensor fails validation: %v", verr)
+		}
+	})
+}

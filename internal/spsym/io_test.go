@@ -1,0 +1,130 @@
+package spsym
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ts, err := Random(RandomOptions{Order: 4, Dim: 7, NNZ: 25, Seed: 11, Values: ValueNormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Order != ts.Order || got.Dim != ts.Dim || got.NNZ() != ts.NNZ() {
+		t.Fatalf("shape mismatch: got (%d,%d,%d), want (%d,%d,%d)",
+			got.Order, got.Dim, got.NNZ(), ts.Order, ts.Dim, ts.NNZ())
+	}
+	for k := 0; k < ts.NNZ(); k++ {
+		a, b := ts.IndexAt(k), got.IndexAt(k)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("non-zero %d index mismatch: %v vs %v", k, a, b)
+			}
+		}
+		if ts.Values[k] != got.Values[k] {
+			t.Fatalf("non-zero %d value mismatch: %v vs %v", k, ts.Values[k], got.Values[k])
+		}
+	}
+}
+
+func TestReadCommentsAndBlankLines(t *testing.T) {
+	input := `# a comment
+
+sym 2 3 2
+# another comment
+1 2 1.5
+
+3 3 -2.0
+`
+	ts, err := ReadFrom(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", ts.NNZ())
+	}
+	if ts.At0() != 1.5 {
+		t.Fatalf("first value = %v, want 1.5", ts.At0())
+	}
+}
+
+// At0 is a tiny test helper: the first stored value.
+func (t *Tensor) At0() float64 { return t.Values[0] }
+
+func TestReadUnsortedDuplicatesCanonicalized(t *testing.T) {
+	input := "sym 2 3 3\n2 1 1.0\n1 2 2.0\n3 3 4.0\n"
+	ts, err := ReadFrom(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 after merging (1,2)+(2,1)", ts.NNZ())
+	}
+	if ts.Values[0] != 3.0 {
+		t.Fatalf("merged value = %v, want 3", ts.Values[0])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad header tag":    "coo 2 3 1\n1 2 1.0\n",
+		"bad header arity":  "sym 2 3\n",
+		"negative nnz":      "sym 2 3 -1\n",
+		"bad index":         "sym 2 3 1\nx 2 1.0\n",
+		"index too large":   "sym 2 3 1\n1 4 1.0\n",
+		"index zero":        "sym 2 3 1\n0 2 1.0\n",
+		"bad value":         "sym 2 3 1\n1 2 abc\n",
+		"wrong field count": "sym 3 3 1\n1 2 1.0\n",
+		"nnz mismatch":      "sym 2 3 5\n1 2 1.0\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadFrom(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tensor.tns")
+	ts, err := Random(RandomOptions{Order: 3, Dim: 5, NNZ: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != ts.NNZ() {
+		t.Fatalf("NNZ = %d, want %d", got.NNZ(), ts.NNZ())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.tns")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestReadRejectsExcessiveOrder(t *testing.T) {
+	// Regression (found by FuzzReadFrom): an order beyond MaxOrder must be
+	// a parse error, not a panic.
+	if _, err := ReadFrom(strings.NewReader("sym 20 1 0\n")); err == nil {
+		t.Error("order 20 header must fail")
+	}
+	line := strings.Repeat("1 ", 20) + "1.0\n"
+	if _, err := ReadCOO(strings.NewReader(line), 0); err == nil {
+		t.Error("order-20 COO line must fail")
+	}
+}

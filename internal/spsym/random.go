@@ -1,0 +1,160 @@
+package spsym
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/symprop/symprop/internal/dense"
+)
+
+// RandomOptions configures synthetic sparse symmetric tensor generation.
+type RandomOptions struct {
+	Order int
+	Dim   int
+	NNZ   int   // target IOU non-zero count
+	Seed  int64 // RNG seed; same seed => same tensor
+
+	// Values selects the value distribution. The zero value (ValueUniform)
+	// draws from U(0,1), matching the synthetic tensors of the CSS paper.
+	Values ValueDist
+
+	// AllowRepeats permits repeated index values inside one tuple
+	// ("diagonal" entries). Hypergraph-derived tensors always have repeats
+	// (dummy-node padding), so the default is true.
+	ForbidRepeats bool
+}
+
+// ValueDist enumerates value distributions for synthetic tensors.
+type ValueDist int
+
+const (
+	// ValueUniform draws values uniformly from (0, 1].
+	ValueUniform ValueDist = iota
+	// ValueNormal draws values from the standard normal distribution.
+	ValueNormal
+	// ValueOnes sets every value to 1 (adjacency-tensor style).
+	ValueOnes
+)
+
+// Random generates a canonical sparse symmetric tensor with exactly
+// opts.NNZ distinct IOU non-zeros (or the whole IOU space if smaller).
+func Random(opts RandomOptions) (*Tensor, error) {
+	if opts.Order < 1 || opts.Order > dense.MaxOrder {
+		return nil, fmt.Errorf("spsym: random order %d out of range [1,%d]", opts.Order, dense.MaxOrder)
+	}
+	if opts.Dim < 1 {
+		return nil, fmt.Errorf("spsym: random dim %d must be positive", opts.Dim)
+	}
+	space := dense.Count(opts.Order, opts.Dim)
+	if opts.ForbidRepeats {
+		space = dense.Binomial(opts.Dim, opts.Order)
+	}
+	nnz := int64(opts.NNZ)
+	if nnz > space {
+		nnz = space
+	}
+	if float64(nnz) > 0.5*float64(space) {
+		return randomDenseRegime(opts, nnz)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	t := New(opts.Order, opts.Dim)
+	t.Index = make([]int32, 0, nnz*int64(opts.Order))
+	t.Values = make([]float64, 0, nnz)
+
+	seen := make(map[string]struct{}, nnz)
+	idx := make([]int, opts.Order)
+	key := make([]byte, opts.Order*4)
+	for int64(len(t.Values)) < nnz {
+		sampleTuple(rng, idx, opts.Dim, opts.ForbidRepeats)
+		dense.SortIndex(idx)
+		encodeKey(idx, key)
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		for _, j := range idx {
+			t.Index = append(t.Index, int32(j))
+		}
+		t.Values = append(t.Values, drawValue(rng, opts.Values))
+	}
+	t.Canonicalize()
+	return t, nil
+}
+
+// randomDenseRegime handles targets close to the full IOU space, where
+// rejection sampling stalls: enumerate the (small, by precondition) space
+// of admissible tuples and draw a uniform nnz-subset via a permutation.
+func randomDenseRegime(opts RandomOptions, nnz int64) (*Tensor, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var all [][]int
+	dense.ForEachIOU(opts.Order, opts.Dim, func(idx []int) {
+		if opts.ForbidRepeats && hasRepeat(idx) {
+			return
+		}
+		all = append(all, append([]int(nil), idx...))
+	})
+	if nnz > int64(len(all)) {
+		nnz = int64(len(all))
+	}
+	t := New(opts.Order, opts.Dim)
+	for _, pos := range rng.Perm(len(all))[:nnz] {
+		t.Append(all[pos], drawValue(rng, opts.Values))
+	}
+	t.Canonicalize()
+	return t, nil
+}
+
+func hasRepeat(idx []int) bool {
+	for i := 1; i < len(idx); i++ {
+		if idx[i] == idx[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+func sampleTuple(rng *rand.Rand, idx []int, dim int, forbidRepeats bool) {
+	if !forbidRepeats {
+		for i := range idx {
+			idx[i] = rng.Intn(dim)
+		}
+		return
+	}
+	// Floyd's algorithm for a uniform k-subset of [0, dim).
+	n := len(idx)
+	chosen := make(map[int]struct{}, n)
+	for j := dim - n; j < dim; j++ {
+		v := rng.Intn(j + 1)
+		if _, ok := chosen[v]; ok {
+			v = j
+		}
+		chosen[v] = struct{}{}
+	}
+	i := 0
+	for v := range chosen {
+		idx[i] = v
+		i++
+	}
+}
+
+func drawValue(rng *rand.Rand, d ValueDist) float64 {
+	switch d {
+	case ValueNormal:
+		return rng.NormFloat64()
+	case ValueOnes:
+		return 1
+	default:
+		// Uniform over (0,1]: avoid exact zeros that Canonicalize drops.
+		return 1 - rng.Float64()
+	}
+}
+
+func encodeKey(idx []int, key []byte) {
+	for i, v := range idx {
+		key[i*4] = byte(v)
+		key[i*4+1] = byte(v >> 8)
+		key[i*4+2] = byte(v >> 16)
+		key[i*4+3] = byte(v >> 24)
+	}
+}

@@ -1,0 +1,145 @@
+package spsym
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/internal/dense"
+)
+
+func TestRandomExactNNZ(t *testing.T) {
+	ts, err := Random(RandomOptions{Order: 5, Dim: 20, NNZ: 300, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NNZ() != 300 {
+		t.Fatalf("NNZ = %d, want 300", ts.NNZ())
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	opts := RandomOptions{Order: 3, Dim: 10, NNZ: 50, Seed: 7}
+	a, err := Random(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed produced different nnz")
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed produced different values")
+		}
+	}
+	for i := range a.Index {
+		if a.Index[i] != b.Index[i] {
+			t.Fatal("same seed produced different indices")
+		}
+	}
+}
+
+func TestRandomSaturatesSpace(t *testing.T) {
+	// Space of order-2 dim-3 IOU tuples is 6; asking for 100 caps at 6.
+	ts, err := Random(RandomOptions{Order: 2, Dim: 3, NNZ: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(ts.NNZ()) != dense.Count(2, 3) {
+		t.Fatalf("NNZ = %d, want %d", ts.NNZ(), dense.Count(2, 3))
+	}
+}
+
+func TestRandomForbidRepeats(t *testing.T) {
+	ts, err := Random(RandomOptions{Order: 3, Dim: 8, NNZ: 40, Seed: 2, ForbidRepeats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < ts.NNZ(); k++ {
+		tuple := ts.IndexAt(k)
+		for i := 1; i < len(tuple); i++ {
+			if tuple[i] == tuple[i-1] {
+				t.Fatalf("non-zero %d has repeated index: %v", k, tuple)
+			}
+		}
+	}
+	// Saturation with ForbidRepeats uses C(dim, order).
+	ts2, err := Random(RandomOptions{Order: 3, Dim: 4, NNZ: 100, Seed: 2, ForbidRepeats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(ts2.NNZ()) != dense.Binomial(4, 3) {
+		t.Fatalf("saturated NNZ = %d, want %d", ts2.NNZ(), dense.Binomial(4, 3))
+	}
+}
+
+func TestRandomValueDistributions(t *testing.T) {
+	ones, err := Random(RandomOptions{Order: 2, Dim: 10, NNZ: 20, Seed: 3, Values: ValueOnes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ones.Values {
+		if v != 1 {
+			t.Fatalf("ValueOnes produced %v", v)
+		}
+	}
+	uni, err := Random(RandomOptions{Order: 2, Dim: 10, NNZ: 20, Seed: 3, Values: ValueUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range uni.Values {
+		if v <= 0 || v > 1 {
+			t.Fatalf("ValueUniform produced %v outside (0,1]", v)
+		}
+	}
+}
+
+func TestRandomRejectsBadShape(t *testing.T) {
+	if _, err := Random(RandomOptions{Order: 0, Dim: 5, NNZ: 1}); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if _, err := Random(RandomOptions{Order: 2, Dim: 0, NNZ: 1}); err == nil {
+		t.Error("dim 0 should fail")
+	}
+	if _, err := Random(RandomOptions{Order: dense.MaxOrder + 1, Dim: 5, NNZ: 1}); err == nil {
+		t.Error("excessive order should fail")
+	}
+}
+
+// The dense regime (target > half the IOU space) must sample uniformly,
+// not keep a lexicographic prefix: the last tuple of the space must appear
+// in some seeds and not others.
+func TestRandomDenseRegimeIsUniform(t *testing.T) {
+	// Space of order-2 dim-4 is 10; ask for 7 (dense regime).
+	last := []int32{3, 3}
+	seen, missed := false, false
+	for seed := int64(0); seed < 30 && !(seen && missed); seed++ {
+		ts, err := Random(RandomOptions{Order: 2, Dim: 4, NNZ: 7, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts.NNZ() != 7 {
+			t.Fatalf("seed %d: nnz %d", seed, ts.NNZ())
+		}
+		found := false
+		for k := 0; k < ts.NNZ(); k++ {
+			tu := ts.IndexAt(k)
+			if tu[0] == last[0] && tu[1] == last[1] {
+				found = true
+			}
+		}
+		if found {
+			seen = true
+		} else {
+			missed = true
+		}
+	}
+	if !seen || !missed {
+		t.Errorf("dense regime not sampling uniformly: seen=%v missed=%v", seen, missed)
+	}
+}

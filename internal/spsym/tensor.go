@@ -1,0 +1,306 @@
+// Package spsym implements sparse symmetric tensors in the UCOO
+// (unique coordinate) format: only the index-ordered-unique (IOU) non-zeros
+// are stored, each standing for every permutation of its index tuple
+// (paper §II-B). UCOO is the interchange format of this module; the CSS and
+// CSF formats are built from it.
+package spsym
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/symprop/symprop/internal/dense"
+)
+
+// Tensor is a sparse symmetric tensor of the given order with hypercubical
+// dimension size Dim. Entry k occupies Index[k*Order : (k+1)*Order]
+// (a non-decreasing tuple) with value Values[k]. The implied full tensor
+// holds Values[k] at every permutation of that tuple.
+type Tensor struct {
+	Order  int
+	Dim    int
+	Index  []int32 // flat IOU coordinates, len = NNZ()*Order
+	Values []float64
+}
+
+// New returns an empty sparse symmetric tensor of the given shape.
+func New(order, dim int) *Tensor {
+	if order < 1 || order > dense.MaxOrder {
+		panic(fmt.Sprintf("spsym: order %d out of range [1,%d]", order, dense.MaxOrder))
+	}
+	if dim < 1 {
+		panic("spsym: dimension size must be positive")
+	}
+	return &Tensor{Order: order, Dim: dim}
+}
+
+// NNZ returns the number of stored IOU non-zeros (unnnz in the paper).
+func (t *Tensor) NNZ() int { return len(t.Values) }
+
+// IndexAt returns the k-th IOU tuple as a shared sub-slice of the flat
+// index array; callers must not modify or retain it across mutations.
+func (t *Tensor) IndexAt(k int) []int32 {
+	return t.Index[k*t.Order : (k+1)*t.Order]
+}
+
+// Append adds one non-zero. idx need not be sorted; it is canonicalized to
+// IOU order. Appending does not deduplicate; call Canonicalize afterwards
+// if duplicates are possible.
+func (t *Tensor) Append(idx []int, v float64) {
+	if len(idx) != t.Order {
+		panic(fmt.Sprintf("spsym: index tuple has %d entries, want %d", len(idx), t.Order))
+	}
+	s := dense.SortedCopy(idx)
+	for _, j := range s {
+		if j < 0 || j >= t.Dim {
+			panic(fmt.Sprintf("spsym: index %d out of range [0,%d)", j, t.Dim))
+		}
+		t.Index = append(t.Index, int32(j))
+	}
+	t.Values = append(t.Values, v)
+}
+
+// Canonicalize sorts the non-zeros lexicographically by IOU tuple, merges
+// duplicates by summation, and drops exact zeros produced by merging.
+// Every kernel in this module requires a canonicalized tensor.
+func (t *Tensor) Canonicalize() {
+	n := t.NNZ()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		return t.compareTuples(perm[a], perm[b]) < 0
+	})
+
+	newIdx := make([]int32, 0, len(t.Index))
+	newVal := make([]float64, 0, n)
+	for _, k := range perm {
+		tuple := t.IndexAt(k)
+		if len(newVal) > 0 {
+			prev := newIdx[len(newIdx)-t.Order:]
+			if tuplesEqual(prev, tuple) {
+				newVal[len(newVal)-1] += t.Values[k]
+				continue
+			}
+		}
+		newIdx = append(newIdx, tuple...)
+		newVal = append(newVal, t.Values[k])
+	}
+
+	// Drop zeros created by cancellation.
+	outIdx := newIdx[:0]
+	outVal := newVal[:0]
+	for k := 0; k < len(newVal); k++ {
+		if newVal[k] == 0 {
+			continue
+		}
+		outIdx = append(outIdx, newIdx[k*t.Order:(k+1)*t.Order]...)
+		outVal = append(outVal, newVal[k])
+	}
+	t.Index = outIdx
+	t.Values = outVal
+}
+
+func (t *Tensor) compareTuples(a, b int) int {
+	ta := t.IndexAt(a)
+	tb := t.IndexAt(b)
+	for i := 0; i < t.Order; i++ {
+		switch {
+		case ta[i] < tb[i]:
+			return -1
+		case ta[i] > tb[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+func tuplesEqual(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: IOU-sorted tuples, in-range
+// indices, lexicographic order without duplicates, matching array lengths.
+func (t *Tensor) Validate() error {
+	if t.Order < 1 {
+		return errors.New("spsym: non-positive order")
+	}
+	if len(t.Index) != t.NNZ()*t.Order {
+		return fmt.Errorf("spsym: index array length %d != nnz*order %d", len(t.Index), t.NNZ()*t.Order)
+	}
+	for k := 0; k < t.NNZ(); k++ {
+		tuple := t.IndexAt(k)
+		for i, j := range tuple {
+			if j < 0 || int(j) >= t.Dim {
+				return fmt.Errorf("spsym: non-zero %d index %d out of range [0,%d)", k, j, t.Dim)
+			}
+			if i > 0 && j < tuple[i-1] {
+				return fmt.Errorf("spsym: non-zero %d tuple %v not IOU-sorted", k, tuple)
+			}
+		}
+		if k > 0 && t.compareTuples(k-1, k) >= 0 {
+			return fmt.Errorf("spsym: non-zeros %d and %d out of lexicographic order or duplicated", k-1, k)
+		}
+	}
+	return nil
+}
+
+// NormSquared returns the squared Frobenius norm of the implied full
+// tensor: sum over IOU non-zeros of value^2 times the tuple's distinct
+// permutation count (used by the Tucker objective f = ||X||^2 - ||C||^2).
+func (t *Tensor) NormSquared() float64 {
+	idx := make([]int, t.Order)
+	var sum float64
+	for k := 0; k < t.NNZ(); k++ {
+		tuple := t.IndexAt(k)
+		for i, v := range tuple {
+			idx[i] = int(v)
+		}
+		sum += t.Values[k] * t.Values[k] * float64(dense.PermutationCount(idx))
+	}
+	return sum
+}
+
+// ExpandedNNZ returns the non-zero count of the implied full tensor
+// (nnz in the paper): the sum of distinct permutation counts over all IOU
+// non-zeros. This is the size a general sparse format such as COO or CSF
+// must pay, and what makes SPLATT run out of memory at high order.
+func (t *Tensor) ExpandedNNZ() int64 {
+	idx := make([]int, t.Order)
+	var sum int64
+	for k := 0; k < t.NNZ(); k++ {
+		tuple := t.IndexAt(k)
+		for i, v := range tuple {
+			idx[i] = int(v)
+		}
+		sum += dense.PermutationCount(idx)
+	}
+	return sum
+}
+
+// ExpandPermutations returns the full non-zero set as (flat indices,
+// values): every distinct permutation of every IOU tuple. Intended for the
+// SPLATT baseline and for small-scale correctness oracles; the caller is
+// responsible for checking ExpandedNNZ against its memory budget first.
+func (t *Tensor) ExpandPermutations() ([]int32, []float64) {
+	total := t.ExpandedNNZ()
+	outIdx := make([]int32, 0, total*int64(t.Order))
+	outVal := make([]float64, 0, total)
+	perm := make([]int32, t.Order)
+	for k := 0; k < t.NNZ(); k++ {
+		tuple := t.IndexAt(k)
+		copy(perm, tuple)
+		v := t.Values[k]
+		forEachDistinctPermutation(perm, func(p []int32) {
+			outIdx = append(outIdx, p...)
+			outVal = append(outVal, v)
+		})
+	}
+	return outIdx, outVal
+}
+
+// ForEachExpanded invokes f for every non-zero of the implied full tensor:
+// each distinct permutation of each IOU tuple, in lexicographic order per
+// tuple. The index slice is reused between calls; f must not retain it.
+// This is the streaming (never-materialized) counterpart of
+// ExpandPermutations, used by baselines that pay the full expansion cost
+// without the memory (e.g. the original HOQRI n-ary contraction).
+func (t *Tensor) ForEachExpanded(f func(idx []int32, val float64)) {
+	perm := make([]int32, t.Order)
+	for k := 0; k < t.NNZ(); k++ {
+		copy(perm, t.IndexAt(k))
+		v := t.Values[k]
+		forEachDistinctPermutation(perm, func(p []int32) {
+			f(p, v)
+		})
+	}
+}
+
+// forEachDistinctPermutation visits each distinct permutation of the sorted
+// tuple p exactly once, in lexicographic order, using the classic
+// next-permutation algorithm (which inherently skips duplicates).
+func forEachDistinctPermutation(p []int32, f func([]int32)) {
+	n := len(p)
+	for {
+		f(p)
+		// Find rightmost i with p[i] < p[i+1].
+		i := n - 2
+		for i >= 0 && p[i] >= p[i+1] {
+			i--
+		}
+		if i < 0 {
+			// Restore ascending order for the caller and stop.
+			reverse(p)
+			return
+		}
+		// Find rightmost j > i with p[j] > p[i]; swap; reverse suffix.
+		j := n - 1
+		for p[j] <= p[i] {
+			j--
+		}
+		p[i], p[j] = p[j], p[i]
+		reverse(p[i+1:])
+	}
+}
+
+func reverse(p []int32) {
+	for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
+		p[a], p[b] = p[b], p[a]
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Order: t.Order, Dim: t.Dim}
+	out.Index = append([]int32(nil), t.Index...)
+	out.Values = append([]float64(nil), t.Values...)
+	return out
+}
+
+// Scale multiplies every value by alpha.
+func (t *Tensor) Scale(alpha float64) {
+	for i := range t.Values {
+		t.Values[i] *= alpha
+	}
+}
+
+// MaxDistinct returns the largest number of distinct index values in any
+// single non-zero, a cheap proxy for lattice width used by capacity
+// estimates.
+func (t *Tensor) MaxDistinct() int {
+	maxd := 0
+	for k := 0; k < t.NNZ(); k++ {
+		tuple := t.IndexAt(k)
+		d := 0
+		for i, v := range tuple {
+			if i == 0 || v != tuple[i-1] {
+				d++
+			}
+		}
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// Add accumulates other into t (both must share order and dimension) and
+// re-canonicalizes. Useful for composing tensors from parts, e.g. summing
+// rank-1 moment contributions or merging hypergraph snapshots.
+func (t *Tensor) Add(other *Tensor) error {
+	if other.Order != t.Order || other.Dim != t.Dim {
+		return fmt.Errorf("spsym: Add shape mismatch: (%d,%d) vs (%d,%d)",
+			t.Order, t.Dim, other.Order, other.Dim)
+	}
+	t.Index = append(t.Index, other.Index...)
+	t.Values = append(t.Values, other.Values...)
+	t.Canonicalize()
+	return nil
+}

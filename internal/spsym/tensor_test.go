@@ -1,0 +1,252 @@
+package spsym
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/symprop/symprop/internal/dense"
+)
+
+func TestAppendSortsTuple(t *testing.T) {
+	ts := New(3, 6)
+	ts.Append([]int{5, 1, 3}, 2.0)
+	got := ts.IndexAt(0)
+	want := []int32{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IndexAt(0) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendPanicsOnBadInput(t *testing.T) {
+	ts := New(2, 3)
+	assertPanics(t, "wrong arity", func() { ts.Append([]int{1}, 1) })
+	assertPanics(t, "out of range", func() { ts.Append([]int{0, 3}, 1) })
+	assertPanics(t, "negative", func() { ts.Append([]int{-1, 0}, 1) })
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	assertPanics(t, "order 0", func() { New(0, 3) })
+	assertPanics(t, "order too large", func() { New(dense.MaxOrder+1, 3) })
+	assertPanics(t, "dim 0", func() { New(2, 0) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestCanonicalizeSortsAndMerges(t *testing.T) {
+	ts := New(2, 4)
+	ts.Append([]int{3, 1}, 1.0)
+	ts.Append([]int{0, 0}, 2.0)
+	ts.Append([]int{1, 3}, 4.0) // duplicate of (1,3) after sorting
+	ts.Append([]int{2, 2}, 5.0)
+	ts.Canonicalize()
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", ts.NNZ())
+	}
+	// (1,3) must hold the merged value 5.
+	if ts.Values[1] != 5.0 {
+		t.Errorf("merged value = %v, want 5", ts.Values[1])
+	}
+}
+
+func TestCanonicalizeDropsCancellation(t *testing.T) {
+	ts := New(2, 4)
+	ts.Append([]int{1, 2}, 3.0)
+	ts.Append([]int{2, 1}, -3.0)
+	ts.Append([]int{0, 0}, 1.0)
+	ts.Canonicalize()
+	if ts.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (cancelled pair dropped)", ts.NNZ())
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	ts := New(2, 4)
+	ts.Append([]int{1, 2}, 1)
+	ts.Append([]int{0, 3}, 1)
+	// Unsorted non-zeros: (1,2) before (0,3).
+	if err := ts.Validate(); err == nil {
+		t.Error("expected lexicographic-order violation")
+	}
+	ts.Canonicalize()
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a tuple to be non-IOU.
+	ts.Index[0], ts.Index[1] = ts.Index[1], ts.Index[0]
+	if ts.Index[0] > ts.Index[1] {
+		if err := ts.Validate(); err == nil {
+			t.Error("expected non-IOU tuple violation")
+		}
+	}
+}
+
+func TestNormSquared(t *testing.T) {
+	// Tensor with one nonzero x=2 at (1,3,5): full tensor has 6 permutations,
+	// so ||X||^2 = 6 * 4 = 24.
+	ts := New(3, 6)
+	ts.Append([]int{1, 3, 5}, 2.0)
+	if got := ts.NormSquared(); got != 24 {
+		t.Errorf("NormSquared = %v, want 24", got)
+	}
+	// Diagonal entry (2,2,2) has a single permutation.
+	ts2 := New(3, 6)
+	ts2.Append([]int{2, 2, 2}, 3.0)
+	if got := ts2.NormSquared(); got != 9 {
+		t.Errorf("NormSquared diag = %v, want 9", got)
+	}
+}
+
+func TestExpandedNNZ(t *testing.T) {
+	ts := New(3, 6)
+	ts.Append([]int{1, 3, 5}, 1.0) // 6 permutations
+	ts.Append([]int{1, 1, 3}, 1.0) // 3 permutations
+	ts.Append([]int{2, 2, 2}, 1.0) // 1 permutation
+	ts.Canonicalize()
+	if got := ts.ExpandedNNZ(); got != 10 {
+		t.Errorf("ExpandedNNZ = %d, want 10", got)
+	}
+}
+
+func TestExpandPermutationsDistinct(t *testing.T) {
+	ts := New(3, 4)
+	ts.Append([]int{0, 1, 1}, 2.5)
+	ts.Canonicalize()
+	idx, vals := ts.ExpandPermutations()
+	if len(vals) != 3 {
+		t.Fatalf("expanded %d entries, want 3", len(vals))
+	}
+	seen := map[[3]int32]bool{}
+	for k := range vals {
+		if vals[k] != 2.5 {
+			t.Errorf("value = %v, want 2.5", vals[k])
+		}
+		var key [3]int32
+		copy(key[:], idx[k*3:(k+1)*3])
+		if seen[key] {
+			t.Errorf("duplicate permutation %v", key)
+		}
+		seen[key] = true
+	}
+	for _, want := range [][3]int32{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if !seen[want] {
+			t.Errorf("missing permutation %v", want)
+		}
+	}
+}
+
+// Property: expansion count always equals ExpandedNNZ, and the original
+// sorted tuple is restored after enumeration.
+func TestExpandPermutationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 1 + rng.Intn(5)
+		dim := 1 + rng.Intn(5)
+		ts := New(order, dim)
+		idx := make([]int, order)
+		for k := 0; k < 1+rng.Intn(10); k++ {
+			for i := range idx {
+				idx[i] = rng.Intn(dim)
+			}
+			ts.Append(idx, rng.Float64()+0.5)
+		}
+		ts.Canonicalize()
+		_, vals := ts.ExpandPermutations()
+		return int64(len(vals)) == ts.ExpandedNNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ts := New(2, 3)
+	ts.Append([]int{0, 1}, 1.0)
+	c := ts.Clone()
+	c.Values[0] = 99
+	c.Index[0] = 2
+	if ts.Values[0] != 1.0 || ts.Index[0] != 0 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestScale(t *testing.T) {
+	ts := New(2, 3)
+	ts.Append([]int{0, 1}, 2.0)
+	ts.Scale(0.5)
+	if ts.Values[0] != 1.0 {
+		t.Errorf("Scale: got %v, want 1", ts.Values[0])
+	}
+}
+
+func TestMaxDistinct(t *testing.T) {
+	ts := New(4, 9)
+	ts.Append([]int{1, 1, 1, 1}, 1)
+	ts.Append([]int{1, 2, 2, 5}, 1)
+	ts.Canonicalize()
+	if got := ts.MaxDistinct(); got != 3 {
+		t.Errorf("MaxDistinct = %d, want 3", got)
+	}
+}
+
+func TestNormSquaredMatchesExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ts, err := Random(RandomOptions{Order: 4, Dim: 5, NNZ: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+	_, vals := ts.ExpandPermutations()
+	var want float64
+	for _, v := range vals {
+		want += v * v
+	}
+	if got := ts.NormSquared(); math.Abs(got-want) > 1e-12*math.Abs(want) {
+		t.Errorf("NormSquared = %v, expansion says %v", got, want)
+	}
+}
+
+func TestAddMergesTensors(t *testing.T) {
+	a := New(2, 4)
+	a.Append([]int{0, 1}, 1.0)
+	a.Append([]int{2, 3}, 2.0)
+	a.Canonicalize()
+	b := New(2, 4)
+	b.Append([]int{1, 0}, 3.0) // duplicate of (0,1)
+	b.Append([]int{0, 0}, 5.0)
+	b.Canonicalize()
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", a.NNZ())
+	}
+	if a.At0() != 5.0 { // (0,0) sorts first
+		t.Errorf("first value = %v, want 5", a.At0())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := New(3, 4)
+	if err := a.Add(c); err == nil {
+		t.Error("order mismatch should fail")
+	}
+	d := New(2, 5)
+	if err := a.Add(d); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+}

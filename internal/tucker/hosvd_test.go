@@ -1,0 +1,90 @@
+package tucker
+
+import (
+	"math"
+	"testing"
+
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// The matrix-free path must span the same subspace as the dense path.
+func TestHOSVDMatrixFreeMatchesDense(t *testing.T) {
+	x := testTensor(t, 3, 40, 120, 71)
+	uDense, err := HOSVDInit(x, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the matrix-free path with a guard too small for the dense Gram
+	// (40x40x8 = 12.8 KB) but big enough for the remainder index.
+	guard := memguard.New(60 << 10)
+	uFree, err := HOSVDInit(x, 4, guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := linalg.OrthonormalityError(uFree); e > 1e-8 {
+		t.Fatalf("matrix-free factor not orthonormal: %v", e)
+	}
+	// Subspace comparison: ||uDenseᵀ·uFree||_F² ~ rank when subspaces match.
+	proj := linalg.MulTN(uDense, uFree)
+	var fro2 float64
+	for _, v := range proj.Data {
+		fro2 += v * v
+	}
+	if math.Abs(fro2-4) > 1e-4 {
+		t.Errorf("subspaces differ: ||P||² = %v, want 4", fro2)
+	}
+}
+
+func TestHOSVDLargeDimSmoke(t *testing.T) {
+	// dim 5000 forces the matrix-free path under the default 64 MB dense
+	// limit? (5000² x 8 = 200 MB > 64 MB.) It must complete quickly.
+	x, err := spsym.Random(spsym.RandomOptions{Order: 3, Dim: 5000, NNZ: 2000, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := HOSVDInit(x, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows != 5000 || u.Cols != 3 {
+		t.Fatalf("factor shape %dx%d", u.Rows, u.Cols)
+	}
+	if e := linalg.OrthonormalityError(u); e > 1e-8 {
+		t.Errorf("not orthonormal: %v", e)
+	}
+}
+
+func TestHOSVDRankValidation(t *testing.T) {
+	x := testTensor(t, 3, 5, 10, 79)
+	if _, err := HOSVDInit(x, 0, nil); err == nil {
+		t.Error("rank 0 must fail")
+	}
+	if _, err := HOSVDInit(x, 6, nil); err == nil {
+		t.Error("rank > dim must fail")
+	}
+}
+
+func TestHOSVDGuardOnIndex(t *testing.T) {
+	x := testTensor(t, 4, 20, 200, 83)
+	// A guard too small even for the remainder index must fail cleanly.
+	if _, err := HOSVDInit(x, 2, memguard.New(1<<10)); err == nil {
+		t.Error("tiny guard should fail")
+	}
+}
+
+func TestCanonicalSignsDeterministic(t *testing.T) {
+	m := linalg.NewMatrixFrom(3, 2, []float64{
+		-0.9, 0.1,
+		0.3, -0.2,
+		0.1, 0.97,
+	})
+	out := canonicalSigns(m)
+	if out.At(0, 0) != 0.9 {
+		t.Error("column 0 should be flipped")
+	}
+	if out.At(2, 1) != 0.97 {
+		t.Error("column 1 should be unchanged")
+	}
+}

@@ -1,0 +1,68 @@
+package tucker
+
+import (
+	"math"
+	"testing"
+
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+)
+
+func TestHOOIRandomizedBasics(t *testing.T) {
+	x := testTensor(t, 3, 10, 30, 101)
+	res, err := HOOIRandomized(x, Options{Rank: 3, MaxIters: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := linalg.OrthonormalityError(res.U); e > 1e-8 {
+		t.Errorf("U not orthonormal: %v", e)
+	}
+	// The objective must still be essentially monotone (tiny slack for the
+	// approximate subspace step).
+	for i := 1; i < len(res.Objective); i++ {
+		if res.Objective[i] > res.Objective[i-1]+1e-4*math.Abs(res.Objective[i-1]) {
+			t.Errorf("objective increased at iter %d: %v -> %v", i, res.Objective[i-1], res.Objective[i])
+		}
+	}
+}
+
+// Randomized HOOI must converge to the same error level as exact HOOI.
+func TestHOOIRandomizedMatchesExact(t *testing.T) {
+	x := testTensor(t, 4, 12, 50, 103)
+	exact, err := HOOI(x, Options{Rank: 3, MaxIters: 25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomized, err := HOOIRandomized(x, Options{Rank: 3, MaxIters: 25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := exact.FinalRelError(), randomized.FinalRelError()
+	if math.Abs(e1-e2) > 0.02*(e1+e2+1e-12) {
+		t.Errorf("final errors diverge: exact %v vs randomized %v", e1, e2)
+	}
+}
+
+// The whole point: HOOIRandomized runs inside a budget where faithful HOOI
+// OOMs (it never builds the full unfolding).
+func TestHOOIRandomizedSurvivesWhereHOOIOOMs(t *testing.T) {
+	x := testTensor(t, 6, 50, 30, 107)
+	guard := memguard.New(4 << 20)
+	if _, err := HOOI(x, Options{Rank: 8, MaxIters: 2, Guard: guard, Workers: 2}); err == nil {
+		t.Fatal("exact HOOI should OOM at this budget (precondition)")
+	}
+	res, err := HOOIRandomized(x, Options{Rank: 8, MaxIters: 2, Guard: memguard.New(4 << 20), Workers: 2})
+	if err != nil {
+		t.Fatalf("randomized HOOI should fit: %v", err)
+	}
+	if res.Iters != 2 {
+		t.Errorf("iters = %d", res.Iters)
+	}
+}
+
+func TestHOOIRandomizedValidation(t *testing.T) {
+	x := testTensor(t, 3, 5, 10, 109)
+	if _, err := HOOIRandomized(x, Options{Rank: 0}); err == nil {
+		t.Error("rank 0 must fail")
+	}
+}

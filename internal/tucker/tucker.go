@@ -1,0 +1,364 @@
+// Package tucker implements sparse symmetric Tucker decomposition on top of
+// the SymProp kernels: the HOOI (paper Algorithm 3) and HOQRI (paper
+// Algorithm 4) drivers, HOSVD and random initialization, the Tucker
+// objective f = ||X||² − ||C||², and per-phase timing used by the
+// performance-breakdown experiment (paper Fig. 8).
+package tucker
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/symprop/symprop/internal/css"
+	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/kernels"
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// Init selects the factor-matrix initialization strategy.
+type Init int
+
+const (
+	// InitRandom starts from a random orthonormal matrix (paper §V; used
+	// when HOSVD cannot fit, footnote 5).
+	InitRandom Init = iota
+	// InitHOSVD starts from the R leading left singular vectors of the
+	// mode-1 unfolding X(1), computed via the sparse Gram matrix.
+	InitHOSVD
+)
+
+// Options configures a decomposition run.
+type Options struct {
+	// Rank is the Tucker rank R (columns of U); required, in [1, Dim].
+	Rank int
+	// MaxIters bounds the iteration count (default 100, the paper's Fig. 7
+	// setting).
+	MaxIters int
+	// Tol stops iterating when the relative objective improvement drops
+	// below it (default 0: run all MaxIters, matching the paper's
+	// fixed-iteration timing runs).
+	Tol float64
+	// Init selects the starting factor.
+	Init Init
+	// Seed drives random initialization.
+	Seed int64
+	// U0 overrides initialization with a caller-provided I x R orthonormal
+	// matrix (e.g. the best of several random restarts).
+	U0 *linalg.Matrix
+	// Guard bounds memory; nil disables the budget.
+	Guard *memguard.Guard
+	// Workers is the kernel goroutine count; 0 means GOMAXPROCS.
+	Workers int
+	// OnIteration, when non-nil, is invoked after every sweep with the
+	// 1-based iteration number and the current relative error; returning
+	// false stops the run early (Result.Converged stays false).
+	OnIteration func(iter int, relErr float64) bool
+}
+
+func (o *Options) normalize(x *spsym.Tensor) error {
+	if o.Rank < 1 || o.Rank > x.Dim {
+		return fmt.Errorf("tucker: rank %d out of range [1,%d]", o.Rank, x.Dim)
+	}
+	if x.Order < 2 {
+		return fmt.Errorf("tucker: order %d tensor; need order >= 2", x.Order)
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 100
+	}
+	if o.U0 != nil && (o.U0.Rows != x.Dim || o.U0.Cols != o.Rank) {
+		return fmt.Errorf("tucker: U0 is %dx%d, want %dx%d", o.U0.Rows, o.U0.Cols, x.Dim, o.Rank)
+	}
+	return nil
+}
+
+// Phases records wall time per algorithm phase, the breakdown of Fig. 8.
+type Phases struct {
+	TTMc  time.Duration // S³TTMc kernel
+	TC    time.Duration // times-core matrix products (HOQRI only)
+	SVD   time.Duration // SVD / Gram + eigendecomposition (HOOI only)
+	QR    time.Duration // QR orthogonalization (HOQRI only)
+	Core  time.Duration // core formation and objective
+	Other time.Duration // initialization and bookkeeping
+}
+
+// Total returns the summed phase time.
+func (p Phases) Total() time.Duration {
+	return p.TTMc + p.TC + p.SVD + p.QR + p.Core + p.Other
+}
+
+// Result is a completed decomposition.
+type Result struct {
+	// U is the orthonormal factor, I x R.
+	U *linalg.Matrix
+	// CoreP is the core tensor's compact partially symmetric unfolding
+	// C_p(1), R x S_{N-1,R} (paper §IV-A).
+	CoreP *linalg.Matrix
+	// P is the permutation-count vector matching CoreP's columns.
+	P []float64
+	// NormX2 is ||X||² of the input.
+	NormX2 float64
+	// Objective traces f = ||X||² − ||C||² per iteration.
+	Objective []float64
+	// RelError traces sqrt(max(f,0))/||X|| per iteration (Fig. 9's y-axis).
+	RelError []float64
+	// Iters is the number of completed iterations.
+	Iters int
+	// Converged reports whether Tol was reached before MaxIters.
+	Converged bool
+	// Phases is the wall-time breakdown.
+	Phases Phases
+}
+
+// FinalRelError returns the last entry of the relative-error trace.
+func (r *Result) FinalRelError() float64 {
+	if len(r.RelError) == 0 {
+		return math.NaN()
+	}
+	return r.RelError[len(r.RelError)-1]
+}
+
+// CoreNormSquared returns ||C||² from the compact core.
+func (r *Result) CoreNormSquared() float64 {
+	var s float64
+	for i := 0; i < r.CoreP.Rows; i++ {
+		row := r.CoreP.Row(i)
+		for j, v := range row {
+			s += r.P[j] * v * v
+		}
+	}
+	return s
+}
+
+func initFactor(x *spsym.Tensor, opts *Options) (*linalg.Matrix, error) {
+	if opts.U0 != nil {
+		return opts.U0.Clone(), nil
+	}
+	switch opts.Init {
+	case InitHOSVD:
+		return HOSVDInit(x, opts.Rank, opts.Guard)
+	default:
+		rng := rand.New(rand.NewSource(opts.Seed))
+		return linalg.RandomOrthonormal(x.Dim, opts.Rank, rng), nil
+	}
+}
+
+func recordObjective(res *Result, normX2, coreNorm2 float64) {
+	f := normX2 - coreNorm2
+	res.Objective = append(res.Objective, f)
+	rel := 0.0
+	if normX2 > 0 {
+		rel = math.Sqrt(math.Max(f, 0) / normX2)
+	}
+	res.RelError = append(res.RelError, rel)
+}
+
+func converged(res *Result, tol float64) bool {
+	n := len(res.Objective)
+	if tol <= 0 || n < 2 {
+		return false
+	}
+	prev, cur := res.Objective[n-2], res.Objective[n-1]
+	return math.Abs(prev-cur) <= tol*math.Max(math.Abs(prev), 1e-300)
+}
+
+// HOOI runs the Higher-Order Orthogonal Iteration (paper Algorithm 3):
+// each sweep computes the SymProp S³TTMc, takes the R leading left singular
+// vectors of the unfolded Y(1) as the new factor, and forms the core.
+//
+// Faithful to the paper's implementation, the SVD step materializes the
+// full I x R^{N-1} unfolding (that is what a LAPACK-backed SVD consumes),
+// which is exactly what makes HOOI run out of memory on large problems
+// (paper §VI-C.1) — the memory guard reproduces those OOMs.
+func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
+	if err := opts.normalize(x); err != nil {
+		return nil, err
+	}
+	res := &Result{NormX2: x.NormSquared()}
+	var cache css.Cache
+	var pool kernels.WorkspacePool
+	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers, PlanCache: &cache, Pool: &pool}
+
+	t0 := time.Now()
+	u, err := initFactor(x, &opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Other += time.Since(t0)
+
+	r := opts.Rank
+	p := kernels.PermCounts(x.Order-1, r)
+	res.P = p
+
+	for it := 0; it < opts.MaxIters; it++ {
+		t := time.Now()
+		yp, err := kernels.S3TTMcSymProp(x, u, kopts)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.TTMc += time.Since(t)
+
+		t = time.Now()
+		u, err = leadingLeftSingular(yp, x.Order, r, opts.Guard)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.SVD += time.Since(t)
+
+		t = time.Now()
+		res.CoreP = linalg.MulTN(u, yp) // C_p(1) = Uᵀ·Y_p(1)
+		coreNorm2 := weightedNorm2(res.CoreP, p)
+		recordObjective(res, res.NormX2, coreNorm2)
+		res.Phases.Core += time.Since(t)
+
+		res.Iters = it + 1
+		if converged(res, opts.Tol) {
+			res.Converged = true
+			break
+		}
+		if opts.OnIteration != nil && !opts.OnIteration(res.Iters, res.RelError[len(res.RelError)-1]) {
+			break
+		}
+	}
+	res.U = u
+	return res, nil
+}
+
+// HOQRI runs the Higher-Order QR Iteration (paper Algorithm 4) with the
+// SymProp S³TTMcTC kernel: A = Y(1)·C(1)ᵀ computed entirely on compact
+// layouts, then QR instead of SVD. No object larger than I x S_{N-1,R} is
+// ever materialized, which is what lets HOQRI scale to the large datasets
+// where HOOI dies (paper Fig. 7).
+func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
+	if err := opts.normalize(x); err != nil {
+		return nil, err
+	}
+	res := &Result{NormX2: x.NormSquared()}
+	var cache css.Cache
+	var pool kernels.WorkspacePool
+	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers, PlanCache: &cache, Pool: &pool}
+
+	t0 := time.Now()
+	u, err := initFactor(x, &opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Other += time.Since(t0)
+
+	for it := 0; it < opts.MaxIters; it++ {
+		t := time.Now()
+		yp, err := kernels.S3TTMcSymProp(x, u, kopts)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.TTMc += time.Since(t)
+
+		// Times-core: C_p = Uᵀ·Y_p, A = Y_p·diag(p)·C_pᵀ (Algorithm 2).
+		t = time.Now()
+		p := kernels.PermCounts(x.Order-1, opts.Rank)
+		cp := linalg.MulTN(u, yp)
+		a := linalg.MulNTWeighted(yp, cp, p)
+		res.Phases.TC += time.Since(t)
+
+		t = time.Now()
+		res.CoreP = cp
+		res.P = p
+		coreNorm2 := weightedNorm2(cp, p)
+		recordObjective(res, res.NormX2, coreNorm2)
+		res.Phases.Core += time.Since(t)
+
+		t = time.Now()
+		u = linalg.Orthonormalize(a)
+		res.Phases.QR += time.Since(t)
+
+		res.Iters = it + 1
+		if converged(res, opts.Tol) {
+			res.Converged = true
+			break
+		}
+		if opts.OnIteration != nil && !opts.OnIteration(res.Iters, res.RelError[len(res.RelError)-1]) {
+			break
+		}
+	}
+	// Recompute the core against the final factor so Result is consistent.
+	t := time.Now()
+	yp, err := kernels.S3TTMcSymProp(x, u, kopts)
+	if err != nil {
+		return nil, err
+	}
+	res.CoreP = linalg.MulTN(u, yp)
+	res.Phases.Core += time.Since(t)
+	res.U = u
+	return res, nil
+}
+
+func weightedNorm2(m *linalg.Matrix, w []float64) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			s += w[j] * v * v
+		}
+	}
+	return s
+}
+
+// leadingLeftSingular returns the R leading left singular vectors of the
+// full unfolding Y(1), expanded from its compact form. The Gram matrix is
+// taken on the smaller side, giving LAPACK's
+// O(I·R^{N-1}·min(I, R^{N-1})) complexity and the full I x R^{N-1}
+// memory footprint of the paper's HOOI.
+func leadingLeftSingular(yp *linalg.Matrix, order, r int, guard *memguard.Guard) (*linalg.Matrix, error) {
+	rows := int64(yp.Rows)
+	cols := dense.Pow64(int64(r), order-1)
+	fullBytes := memguard.Float64Bytes(rows * cols)
+	if err := guard.Reserve(fullBytes, "HOOI full Y(1) for SVD"); err != nil {
+		return nil, err
+	}
+	defer guard.Release(fullBytes)
+	yFull := kernels.ExpandCompactColumns(yp, order, r)
+
+	small := rows
+	if cols < small {
+		small = cols
+	}
+	gramBytes := memguard.Float64Bytes(small * small)
+	if err := guard.Reserve(gramBytes, "HOOI Gram matrix"); err != nil {
+		return nil, err
+	}
+	defer guard.Release(gramBytes)
+
+	if rows <= cols {
+		g := linalg.MulNT(yFull, yFull) // I x I
+		return linalg.TopEigenvectors(g, r)
+	}
+	// Column-side Gram: eig gives right singular vectors; map back through Y.
+	g := linalg.MulTN(yFull, yFull) // cols x cols
+	values, vectors, err := linalg.SymEig(g)
+	if err != nil {
+		return nil, err
+	}
+	u := linalg.NewMatrix(yp.Rows, r)
+	for c := 0; c < r; c++ {
+		sigma := math.Sqrt(math.Max(values[c], 0))
+		for i := 0; i < yp.Rows; i++ {
+			var s float64
+			row := yFull.Row(i)
+			for k := 0; k < yFull.Cols; k++ {
+				s += row[k] * vectors.At(k, c)
+			}
+			if sigma > 1e-300 {
+				u.Set(i, c, s/sigma)
+			}
+		}
+	}
+	// Guard against rank deficiency: re-orthonormalize.
+	return linalg.Orthonormalize(u), nil
+}
+
+// ErrNotConverged is reserved for callers that require convergence.
+var ErrNotConverged = errors.New("tucker: did not converge within MaxIters")

@@ -1,0 +1,88 @@
+package tucker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/symprop/symprop/internal/kernels"
+	"github.com/symprop/symprop/internal/linalg"
+)
+
+// All four drivers minimize the same objective from the same start; with a
+// shared deterministic U0 they must track each other closely.
+func TestVariantsAgreeWithPrimaries(t *testing.T) {
+	x := testTensor(t, 3, 8, 25, 61)
+	rng := rand.New(rand.NewSource(62))
+	u0 := linalg.RandomOrthonormal(8, 3, rng)
+	opts := Options{Rank: 3, MaxIters: 8, U0: u0}
+
+	hooi, err := HOOI(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooiCSS, err := HOOICSS(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoqri, err := HOQRI(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoqriNary, err := HOQRINary(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// HOOI and HOOI-CSS run mathematically identical iterations.
+	for i := range hooi.Objective {
+		if math.Abs(hooi.Objective[i]-hooiCSS.Objective[i]) > 1e-6*(1+math.Abs(hooi.Objective[i])) {
+			t.Errorf("HOOI vs HOOI-CSS objective differs at iter %d: %v vs %v",
+				i, hooi.Objective[i], hooiCSS.Objective[i])
+		}
+	}
+	// HOQRI and HOQRI-n-ary run mathematically identical iterations.
+	for i := range hoqri.Objective {
+		if math.Abs(hoqri.Objective[i]-hoqriNary.Objective[i]) > 1e-6*(1+math.Abs(hoqri.Objective[i])) {
+			t.Errorf("HOQRI vs HOQRI-nary objective differs at iter %d: %v vs %v",
+				i, hoqri.Objective[i], hoqriNary.Objective[i])
+		}
+	}
+}
+
+func TestVariantsOrthonormalAndMonotone(t *testing.T) {
+	x := testTensor(t, 4, 7, 20, 63)
+	for _, tc := range []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"HOOICSS", func() (*Result, error) { return HOOICSS(x, Options{Rank: 3, MaxIters: 6, Seed: 2}) }},
+		{"HOQRINary", func() (*Result, error) { return HOQRINary(x, Options{Rank: 3, MaxIters: 6, Seed: 2}) }},
+	} {
+		res, err := tc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if e := linalg.OrthonormalityError(res.U); e > 1e-9 {
+			t.Errorf("%s: U not orthonormal: %v", tc.name, e)
+		}
+		for i := 1; i < len(res.Objective); i++ {
+			if res.Objective[i] > res.Objective[i-1]+1e-6*math.Abs(res.Objective[i-1])+1e-10 {
+				t.Errorf("%s: objective increased at iter %d", tc.name, i)
+			}
+		}
+	}
+}
+
+func TestCompactFromFullInvertsExpansion(t *testing.T) {
+	x := testTensor(t, 4, 6, 15, 67)
+	res, err := HOQRI(x, Options{Rank: 3, MaxIters: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := kernels.ExpandCompactColumns(res.CoreP, 4, 3)
+	back := compactFromFull(full, 4, 3)
+	if d := linalg.MaxAbsDiff(back, res.CoreP); d > 1e-12 {
+		t.Errorf("compactFromFull(expand(C)) differs by %v", d)
+	}
+}

@@ -1,0 +1,260 @@
+package symprop
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/symprop/symprop/internal/linalg"
+)
+
+func smallTensor(t *testing.T) *Tensor {
+	t.Helper()
+	x, err := RandomTensor(3, 10, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestDecomposeHOQRIDefault(t *testing.T) {
+	x := smallTensor(t)
+	res, err := Decompose(x, Options{Rank: 3, MaxIters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U.Rows != 10 || res.U.Cols != 3 {
+		t.Fatalf("U shape %dx%d", res.U.Rows, res.U.Cols)
+	}
+	if res.FinalRelError() < 0 || res.FinalRelError() > 1 {
+		t.Errorf("relative error %v out of [0,1]", res.FinalRelError())
+	}
+}
+
+func TestDecomposeHOOI(t *testing.T) {
+	x := smallTensor(t)
+	res, err := Decompose(x, Options{Rank: 3, MaxIters: 10, Algorithm: HOOI, HOSVDInit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := linalg.OrthonormalityError(res.U); e > 1e-9 {
+		t.Errorf("U not orthonormal: %v", e)
+	}
+}
+
+func TestDecomposeValidatesInput(t *testing.T) {
+	x := NewTensor(2, 5)
+	x.Append([]int{3, 1}, 1)
+	x.Append([]int{0, 4}, 1)
+	// Not canonicalized: (1,3) sorts before (0,4) fails lexicographic order.
+	if _, err := Decompose(x, Options{Rank: 2}); err == nil {
+		t.Error("non-canonical tensor must be rejected")
+	}
+	x.Canonicalize()
+	if _, err := Decompose(x, Options{Rank: 2, MaxIters: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompose(x, Options{Rank: 2, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+}
+
+func TestDecomposeMemoryBudget(t *testing.T) {
+	x, err := RandomTensor(6, 50, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Decompose(x, Options{Rank: 8, MaxIters: 2, Algorithm: HOOI, MemoryBudget: 4 << 20})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("want ErrOutOfMemory, got %v", err)
+	}
+	// Negative budget disables the guard entirely.
+	if _, err := Decompose(x, Options{Rank: 3, MaxIters: 1, MemoryBudget: -1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestS3TTMcPublicAPI(t *testing.T) {
+	x := smallTensor(t)
+	u := linalg.RandomNormal(10, 3, rand.New(rand.NewSource(1)))
+	yp, err := S3TTMc(x, u, KernelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yp.Rows != 10 || yp.Cols != 6 { // S_{2,3} = 6
+		t.Fatalf("Yp shape %dx%d, want 10x6", yp.Rows, yp.Cols)
+	}
+	full := ExpandChainProduct(yp, 3, 3)
+	if full.Cols != 9 {
+		t.Fatalf("expanded cols %d, want 9", full.Cols)
+	}
+	a, err := S3TTMcTC(x, u, KernelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 10 || a.Cols != 3 {
+		t.Fatalf("A shape %dx%d, want 10x3", a.Rows, a.Cols)
+	}
+}
+
+func TestReadTensorAndHypergraph(t *testing.T) {
+	x, err := ReadTensor(strings.NewReader("sym 2 3 1\n1 2 1.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() != 1 {
+		t.Fatal("tensor parse failed")
+	}
+	h, err := ReadHypergraph(strings.NewReader("0 1 2\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := h.ToTensor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.Order != 3 {
+		t.Fatal("hypergraph tensor order wrong")
+	}
+}
+
+func TestBestRandomInitPublic(t *testing.T) {
+	x := smallTensor(t)
+	u0, err := BestRandomInit(x, 2, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decompose(x, Options{Rank: 2, MaxIters: 3, U0: u0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 3 {
+		t.Errorf("iters = %d", res.Iters)
+	}
+}
+
+func TestKMeansRowsAndAgreement(t *testing.T) {
+	m := NewMatrix(6, 1)
+	for i := 0; i < 3; i++ {
+		m.Set(i, 0, 0)
+		m.Set(i+3, 0, 100)
+	}
+	labels := KMeansRows(m, 2, 1)
+	want := []int{labels[0], labels[0], labels[0], labels[3], labels[3], labels[3]}
+	if ClusterAgreement(want, labels) != 1 {
+		t.Errorf("trivial clustering failed: %v", labels)
+	}
+}
+
+// End-to-end: decompose a planted two-community hypergraph and recover the
+// communities from U — the paper's motivating application.
+func TestCommunityRecoveryEndToEnd(t *testing.T) {
+	h, err := ReadHypergraph(strings.NewReader(communityEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := h.ToTensor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decompose(x, Options{Rank: 2, MaxIters: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster only real nodes (exclude the dummy padding row, if any).
+	rows := NewMatrix(h.Nodes, res.U.Cols)
+	for i := 0; i < h.Nodes; i++ {
+		copy(rows.Row(i), res.U.Row(i))
+	}
+	labels := KMeansRows(rows, 2, 9)
+	truth := make([]int, h.Nodes)
+	for i := range truth {
+		if i >= h.Nodes/2 {
+			truth[i] = 1
+		}
+	}
+	if acc := ClusterAgreement(truth, labels); acc < 0.9 {
+		t.Errorf("community recovery accuracy %v, want >= 0.9", acc)
+	}
+}
+
+// communityEdges builds two dense triangle communities over nodes 0-5 and
+// 6-11 deterministically.
+func communityEdges() string {
+	var sb strings.Builder
+	addCommunity := func(base int) {
+		for a := 0; a < 6; a++ {
+			for b := a + 1; b < 6; b++ {
+				for c := b + 1; c < 6; c++ {
+					sb.WriteString(
+						itoa(base+a) + " " + itoa(base+b) + " " + itoa(base+c) + "\n")
+				}
+			}
+		}
+	}
+	addCommunity(0)
+	addCommunity(6)
+	// A couple of cross edges for realism.
+	sb.WriteString("0 6 7\n5 10 11\n")
+	return sb.String()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func TestBinaryTensorPublicAPI(t *testing.T) {
+	x := smallTensor(t)
+	dir := t.TempDir()
+	path := dir + "/x.stnb"
+	if err := SaveTensorBinary(x, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTensor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != x.NNZ() {
+		t.Fatalf("binary round trip: nnz %d, want %d", got.NNZ(), x.NNZ())
+	}
+}
+
+func TestHOSVDFactorPublicAPI(t *testing.T) {
+	x := smallTensor(t)
+	u, err := HOSVDFactor(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows != 10 || u.Cols != 3 {
+		t.Fatalf("factor shape %dx%d", u.Rows, u.Cols)
+	}
+	if e := linalg.OrthonormalityError(u); e > 1e-9 {
+		t.Errorf("HOSVD factor not orthonormal: %v", e)
+	}
+}
+
+func TestNMIPublicAPI(t *testing.T) {
+	if NMI([]int{0, 0, 1, 1}, []int{1, 1, 0, 0}) < 0.999 {
+		t.Error("NMI of renamed identical partitions should be 1")
+	}
+}
+
+func TestHOOIRandomizedPublicAPI(t *testing.T) {
+	x := smallTensor(t)
+	res, err := Decompose(x, Options{Rank: 3, MaxIters: 8, Algorithm: HOOIRandomized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := linalg.OrthonormalityError(res.U); e > 1e-8 {
+		t.Errorf("U not orthonormal: %v", e)
+	}
+}
