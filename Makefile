@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench verify examples reproduce generate clean
+.PHONY: all build test test-race vet lint fuzz-smoke bench verify examples reproduce generate clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# symlint: the repo's own go/analysis suite (see docs/LINTING.md).
+# Enforces the iterate-engine, parallel-closure, generated-file, and
+# panic-policy invariants across every package.
+lint:
+	$(GO) run ./tools/symlint ./...
+
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrency-heavy packages.
+# Race-detector pass over the whole module.
 test-race:
-	$(GO) test -race ./internal/kernels/ ./internal/linalg/ ./internal/tucker/ ./internal/cpd/ ./internal/csf/ .
+	$(GO) test -race ./...
+
+# Run every fuzz target briefly — a smoke pass, not a campaign. Each
+# invocation fuzzes one target (go test allows only one -fuzz match).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME) -run=^$$ ./internal/kernels/
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) -run=^$$ ./internal/hypergraph/
+	$(GO) test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run=^$$ ./internal/spsym/
+	$(GO) test -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) -run=^$$ ./internal/spsym/
 
 # testing.B benchmarks (one family per paper table/figure).
 bench:

@@ -36,6 +36,18 @@ func ParseProfile(s string) (Profile, error) {
 	}
 }
 
+// mustLookup resolves a dataset name from the Table III registry. The
+// quick/test lists below and the registry are maintained together, so a
+// missing name is a programming bug caught by the package tests, never a
+// runtime condition.
+func mustLookup(name string) hypergraph.DatasetSpec {
+	d, err := hypergraph.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
 // Datasets returns the Table III dataset list at the profile's scale.
 func (p Profile) Datasets() []hypergraph.DatasetSpec {
 	if p == ProfilePaper {
@@ -53,10 +65,7 @@ func (p Profile) Datasets() []hypergraph.DatasetSpec {
 		}
 		out := make([]hypergraph.DatasetSpec, 0, len(quick))
 		for _, q := range quick {
-			d, err := hypergraph.Lookup(q.name)
-			if err != nil {
-				panic(err)
-			}
+			d := mustLookup(q.name)
 			d.Dim = q.dim
 			d.UNNZ = q.nnz
 			if d.Rank > 4 {
@@ -88,10 +97,7 @@ func (p Profile) Datasets() []hypergraph.DatasetSpec {
 	}
 	out := make([]hypergraph.DatasetSpec, 0, len(quick))
 	for _, q := range quick {
-		d, err := hypergraph.Lookup(q.name)
-		if err != nil {
-			panic(err) // table and quick list are maintained together
-		}
+		d := mustLookup(q.name)
 		d.Dim = q.dim
 		d.UNNZ = q.nnz
 		if d.Communities > q.dim/4 {

@@ -226,14 +226,26 @@ type SymTensor struct {
 	Data  []float64
 }
 
+// mustFit panics with a formatted message when ok is false. Allocation
+// bounds on the compact layout are a programmer invariant: the drivers
+// size dense intermediates from rank and order, which are validated at the
+// API boundary long before any allocation happens, so exceeding the bound
+// mirrors make's behaviour for impossible allocations. The symlint
+// panicpolicy analyzer keeps library panics inside documented helpers like
+// this one.
+func mustFit(ok bool, format string, args ...any) {
+	if ok {
+		return
+	}
+	panic(fmt.Sprintf(format, args...))
+}
+
 // NewSymTensor allocates a zero symmetric tensor. It panics if the compact
 // size does not fit in an int, mirroring make's behaviour for impossible
 // allocations.
 func NewSymTensor(order, dim int) *SymTensor {
 	size := Count(order, dim)
-	if size > math.MaxInt32*64 {
-		panic(fmt.Sprintf("dense: compact symmetric tensor order=%d dim=%d too large (%d entries)", order, dim, size))
-	}
+	mustFit(size <= math.MaxInt32*64, "dense: compact symmetric tensor order=%d dim=%d too large (%d entries)", order, dim, size)
 	return &SymTensor{Order: order, Dim: dim, Data: make([]float64, size)}
 }
 

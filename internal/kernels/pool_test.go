@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWorkspacePoolConcurrentStress hammers one pool from many goroutines
+// with interleaved get/put across mixed (order, rank, compact) shapes —
+// the sharing pattern Tucker drivers create when kernels with different
+// shapes share Options.Pool. Its job is to fail under `make test-race`
+// if the pool's locking ever regresses; single-threaded it also checks
+// shape matching and the pooled-memory bound.
+func TestWorkspacePoolConcurrentStress(t *testing.T) {
+	shapes := []struct {
+		order, r int
+		compact  bool
+	}{
+		{3, 4, false},
+		{3, 4, true},
+		{4, 2, false},
+		{5, 3, true},
+		{6, 2, false},
+	}
+	var pool WorkspacePool
+	const (
+		workers = 8
+		iters   = 500
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			held := make([]*workspace, 0, 4)
+			for i := 0; i < iters; i++ {
+				s := shapes[(w+i)%len(shapes)]
+				ws := pool.get(s.order, s.r, s.compact)
+				if ws.order != s.order || ws.r != s.r || ws.compact != s.compact {
+					t.Errorf("get(%d, %d, %v) returned workspace with shape (%d, %d, %v)",
+						s.order, s.r, s.compact, ws.order, ws.r, ws.compact)
+					return
+				}
+				held = append(held, ws)
+				// Return in bursts so gets race against puts of both
+				// matching and non-matching shapes.
+				if len(held) == cap(held) || i%3 == 0 {
+					for _, h := range held {
+						pool.put(h)
+					}
+					held = held[:0]
+				}
+			}
+			for _, h := range held {
+				pool.put(h)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := pool.Len(); n > 64 {
+		t.Errorf("pool holds %d workspaces, exceeding the 64-entry bound", n)
+	}
+}
+
+// TestWorkspacePoolShapeMatching checks the single-threaded contract the
+// stress test relies on: put/get round-trips reuse an exact-shape match
+// and never hand back a mismatched workspace.
+func TestWorkspacePoolShapeMatching(t *testing.T) {
+	var pool WorkspacePool
+	ws := pool.get(4, 3, true)
+	pool.put(ws)
+	if pool.Len() != 1 {
+		t.Fatalf("pool.Len() = %d after one put, want 1", pool.Len())
+	}
+	if got := pool.get(4, 3, true); got != ws {
+		t.Error("matching get did not reuse the pooled workspace")
+	}
+	pool.put(ws)
+	if got := pool.get(4, 3, false); got == ws {
+		t.Error("get with different compact flag reused a mismatched workspace")
+	} else if got.order != 4 || got.r != 3 || got.compact {
+		t.Errorf("mismatch fallback allocated wrong shape (%d, %d, %v)", got.order, got.r, got.compact)
+	}
+	if pool.Len() != 1 {
+		t.Errorf("mismatched get drained the pool: Len() = %d, want 1", pool.Len())
+	}
+}
+
+// TestWorkspacePoolNilSafe: a nil pool degrades to plain allocation, so
+// Options.Pool may be left unset.
+func TestWorkspacePoolNilSafe(t *testing.T) {
+	var pool *WorkspacePool
+	ws := pool.get(3, 2, false)
+	if ws == nil || ws.order != 3 || ws.r != 2 || ws.compact {
+		t.Fatalf("nil pool get returned %+v", ws)
+	}
+	pool.put(ws)
+	if pool.Len() != 0 {
+		t.Errorf("nil pool Len() = %d, want 0", pool.Len())
+	}
+}

@@ -409,15 +409,26 @@ func S3TTMcCSS(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix,
 	return y, nil
 }
 
+// mustCompactShape panics when yp's column count disagrees with the
+// compact width S_{order-1,r} it must have been produced with. The
+// (order, r) pair travels alongside every compact unfolding inside the
+// kernels, so a mismatch means the caller mixed buffers from different
+// runs — a programming bug, not a runtime condition. The symlint
+// panicpolicy analyzer keeps library panics inside documented helpers like
+// this one.
+func mustCompactShape(yp *linalg.Matrix, order, r int) {
+	if want := dense.Count(order-1, r); int64(yp.Cols) != want {
+		panic(fmt.Sprintf("kernels: ExpandCompactColumns: matrix has %d columns, but order %d rank %d implies %d",
+			yp.Cols, order, r, want))
+	}
+}
+
 // ExpandCompactColumns expands a partially symmetric compact unfolding
 // Y_p(1) (I x S_{order-1,r}) to the full unfolding Y(1) (I x r^{order-1}),
 // realizing the expansion matrix E of paper Property 2. Intended for tests
 // and small cases.
 func ExpandCompactColumns(yp *linalg.Matrix, order, r int) *linalg.Matrix {
-	if want := dense.Count(order-1, r); int64(yp.Cols) != want {
-		panic(fmt.Sprintf("kernels: ExpandCompactColumns: matrix has %d columns, but order %d rank %d implies %d",
-			yp.Cols, order, r, want))
-	}
+	mustCompactShape(yp, order, r)
 	symOrder := order - 1
 	fullCols := int(dense.Pow64(int64(r), symOrder))
 	out := linalg.NewMatrix(yp.Rows, fullCols)

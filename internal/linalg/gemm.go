@@ -1,7 +1,5 @@
 package linalg
 
-import "fmt"
-
 // This file implements the GEMM variants the Tucker drivers use. All of
 // them parallelize over output rows via ParallelFor and keep the innermost
 // loop running over contiguous memory (row-major everywhere), which is the
@@ -9,9 +7,7 @@ import "fmt"
 
 // Mul returns C = A·B.
 func Mul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
+	mustShape(a.Cols == b.Rows, "linalg: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	c := NewMatrix(a.Rows, b.Cols)
 	ParallelFor(a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -36,9 +32,7 @@ func Mul(a, b *Matrix) *Matrix {
 // splitting the K dimension across workers with private accumulators would
 // race, so it instead parallelizes over output rows with a strided pass.
 func MulTN(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("linalg: MulTN shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
+	mustShape(a.Rows == b.Rows, "linalg: MulTN shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	c := NewMatrix(a.Cols, b.Cols)
 	// Each worker owns a contiguous band of C's rows (columns of A) and
 	// streams through all rows of A and B once.
@@ -64,9 +58,7 @@ func MulTN(a, b *Matrix) *Matrix {
 // MulNT returns C = A·Bᵀ (C is a.Rows x b.Rows). Both operands stream
 // row-contiguously; each output element is a dot product of two rows.
 func MulNT(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("linalg: MulNT shape mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
+	mustShape(a.Cols == b.Cols, "linalg: MulNT shape mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
 	c := NewMatrix(a.Rows, b.Rows)
 	ParallelFor(a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -89,9 +81,8 @@ func MulNT(a, b *Matrix) *Matrix {
 // (A = Y_p(1)·diag(p)·C_p(1)ᵀ) and of the Gram trick in HOOI
 // (G = Y_p(1)·diag(p)·Y_p(1)ᵀ). len(w) must equal a.Cols == b.Cols.
 func MulNTWeighted(a, b *Matrix, w []float64) *Matrix {
-	if a.Cols != b.Cols || len(w) != a.Cols {
-		panic(fmt.Sprintf("linalg: MulNTWeighted shape mismatch %dx%d, %dx%d, |w|=%d", a.Rows, a.Cols, b.Rows, b.Cols, len(w)))
-	}
+	mustShape(a.Cols == b.Cols && len(w) == a.Cols,
+		"linalg: MulNTWeighted shape mismatch %dx%d, %dx%d, |w|=%d", a.Rows, a.Cols, b.Rows, b.Cols, len(w))
 	c := NewMatrix(a.Rows, b.Rows)
 	ParallelFor(a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -113,9 +104,7 @@ func MulNTWeighted(a, b *Matrix, w []float64) *Matrix {
 // GramWeighted returns G = A·diag(w)·Aᵀ exploiting symmetry: only the upper
 // triangle is computed and mirrored.
 func GramWeighted(a *Matrix, w []float64) *Matrix {
-	if len(w) != a.Cols {
-		panic("linalg: GramWeighted weight length mismatch")
-	}
+	mustShape(len(w) == a.Cols, "linalg: GramWeighted weight length mismatch")
 	g := NewMatrix(a.Rows, a.Rows)
 	ParallelFor(a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

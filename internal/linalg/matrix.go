@@ -6,7 +6,6 @@
 package linalg
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 )
@@ -19,18 +18,14 @@ type Matrix struct {
 
 // NewMatrix allocates a zero matrix.
 func NewMatrix(rows, cols int) *Matrix {
-	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
-	}
+	mustShape(rows >= 0 && cols >= 0, "linalg: negative dimensions %dx%d", rows, cols)
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
 // NewMatrixFrom wraps existing backing storage, which must have length
 // rows*cols. The matrix shares the slice.
 func NewMatrixFrom(rows, cols int, data []float64) *Matrix {
-	if len(data) != rows*cols {
-		panic(fmt.Sprintf("linalg: data length %d != %d*%d", len(data), rows, cols))
-	}
+	mustShape(len(data) == rows*cols, "linalg: data length %d != %d*%d", len(data), rows, cols)
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
 
@@ -79,9 +74,7 @@ func (m *Matrix) FrobeniusNorm() float64 {
 // MaxAbsDiff returns the largest absolute elementwise difference between
 // two equally shaped matrices; used heavily by tests.
 func MaxAbsDiff(a, b *Matrix) float64 {
-	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic("linalg: MaxAbsDiff shape mismatch")
-	}
+	mustShape(a.Rows == b.Rows && a.Cols == b.Cols, "linalg: MaxAbsDiff shape mismatch")
 	var d float64
 	for i := range a.Data {
 		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
@@ -103,9 +96,7 @@ func RandomNormal(rows, cols int, rng *rand.Rand) *Matrix {
 // RandomOrthonormal returns a rows x cols matrix with orthonormal columns
 // (rows >= cols), built by QR of a Gaussian matrix.
 func RandomOrthonormal(rows, cols int, rng *rand.Rand) *Matrix {
-	if rows < cols {
-		panic("linalg: RandomOrthonormal needs rows >= cols")
-	}
+	mustShape(rows >= cols, "linalg: RandomOrthonormal needs rows >= cols")
 	g := RandomNormal(rows, cols, rng)
 	q, _ := QRThin(g)
 	return q

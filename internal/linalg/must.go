@@ -1,0 +1,18 @@
+package linalg
+
+import "fmt"
+
+// mustShape panics with a formatted message when ok is false. Shape
+// agreement between operands in this package is a programmer invariant,
+// not a runtime input: ranks and dimensions are fixed by the caller before
+// any data flows, every file reader validates sizes before constructing
+// matrices, and a mismatch is therefore a bug in the calling code that
+// should fail fast and loudly. The symlint panicpolicy analyzer forbids
+// panics in library packages outside documented helpers like this one, so
+// every panic site stays a named, reviewed decision.
+func mustShape(ok bool, format string, args ...any) {
+	if ok {
+		return
+	}
+	panic(fmt.Sprintf(format, args...))
+}

@@ -1,9 +1,6 @@
 package linalg
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
 // QRThin computes the thin QR factorization A = Q·R of an m x n matrix with
 // m >= n via Householder reflections: Q is m x n with orthonormal columns
@@ -15,9 +12,7 @@ import (
 // its O(I·R²) cost is what replaces HOOI's SVD.
 func QRThin(a *Matrix) (q, r *Matrix) {
 	m, n := a.Rows, a.Cols
-	if m < n {
-		panic(fmt.Sprintf("linalg: QRThin needs rows >= cols, got %dx%d", m, n))
-	}
+	mustShape(m >= n, "linalg: QRThin needs rows >= cols, got %dx%d", m, n)
 	// work holds the Householder vectors below the diagonal and the
 	// strictly-upper part of R above it; rdiag holds R's diagonal.
 	work := a.Clone()

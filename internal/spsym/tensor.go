@@ -24,14 +24,24 @@ type Tensor struct {
 	Values []float64
 }
 
+// mustArg panics with a formatted message when ok is false. New and
+// Append are constructor-level APIs whose arguments come from code, not
+// directly from end users: every reader in this package (ReadFrom,
+// ReadBinary, the hypergraph converters) validates order, dimension and
+// index ranges and returns an error before calling them, so a violation
+// here is a programming bug that should fail fast. The symlint panicpolicy
+// analyzer keeps library panics inside documented helpers like this one.
+func mustArg(ok bool, format string, args ...any) {
+	if ok {
+		return
+	}
+	panic(fmt.Sprintf(format, args...))
+}
+
 // New returns an empty sparse symmetric tensor of the given shape.
 func New(order, dim int) *Tensor {
-	if order < 1 || order > dense.MaxOrder {
-		panic(fmt.Sprintf("spsym: order %d out of range [1,%d]", order, dense.MaxOrder))
-	}
-	if dim < 1 {
-		panic("spsym: dimension size must be positive")
-	}
+	mustArg(order >= 1 && order <= dense.MaxOrder, "spsym: order %d out of range [1,%d]", order, dense.MaxOrder)
+	mustArg(dim >= 1, "spsym: dimension size must be positive")
 	return &Tensor{Order: order, Dim: dim}
 }
 
@@ -48,14 +58,10 @@ func (t *Tensor) IndexAt(k int) []int32 {
 // IOU order. Appending does not deduplicate; call Canonicalize afterwards
 // if duplicates are possible.
 func (t *Tensor) Append(idx []int, v float64) {
-	if len(idx) != t.Order {
-		panic(fmt.Sprintf("spsym: index tuple has %d entries, want %d", len(idx), t.Order))
-	}
+	mustArg(len(idx) == t.Order, "spsym: index tuple has %d entries, want %d", len(idx), t.Order)
 	s := dense.SortedCopy(idx)
 	for _, j := range s {
-		if j < 0 || j >= t.Dim {
-			panic(fmt.Sprintf("spsym: index %d out of range [0,%d)", j, t.Dim))
-		}
+		mustArg(j >= 0 && j < t.Dim, "spsym: index %d out of range [0,%d)", j, t.Dim)
 		t.Index = append(t.Index, int32(j))
 	}
 	t.Values = append(t.Values, v)

@@ -1,0 +1,70 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// subset of the golang.org/x/tools/go/analysis API that symlint needs.
+//
+// The real x/tools module is deliberately not vendored: this repository has
+// zero external dependencies, and the four symlint analyzers only require a
+// type-checked syntax tree per package plus a diagnostic sink. Packages are
+// loaded with the standard toolchain ("go list -export") and type-checked
+// with go/types, so analyzer code written against this package reads
+// exactly like an x/tools analyzer and could be ported with an import swap.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph help text, shown by "symlint help".
+	Doc string
+
+	// Run applies the analyzer to a single package and reports
+	// diagnostics via pass.Report. The result value is unused by the
+	// driver but kept for x/tools signature compatibility.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Module describes the enclosing Go module, when known. Repo-level
+	// analyzers (gendrift) use Module.Dir to locate generators and
+	// generated files.
+	Module *Module
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Module identifies the Go module a package belongs to.
+type Module struct {
+	Path string // module path, e.g. github.com/symprop/symprop
+	Dir  string // absolute directory of go.mod
+}
+
+// A Diagnostic is one analyzer finding, tied to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

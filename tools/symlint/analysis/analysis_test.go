@@ -1,0 +1,95 @@
+package analysis_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := wd; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", wd)
+		}
+		d = parent
+	}
+}
+
+// TestLoaderTypeChecks loads a real module package through the export-data
+// importer and verifies analyzers get full type information.
+func TestLoaderTypeChecks(t *testing.T) {
+	loader := analysis.NewLoader(moduleRoot(t))
+	pkgs, err := loader.Load("./internal/dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	if p.Types == nil || p.Types.Name() != "dense" {
+		t.Fatalf("bad types package: %v", p.Types)
+	}
+	if p.Module == nil || p.Module.Path != "github.com/symprop/symprop" {
+		t.Fatalf("module not resolved: %+v", p.Module)
+	}
+	if p.Types.Scope().Lookup("ForEachIOU") == nil {
+		t.Fatal("ForEachIOU not in package scope")
+	}
+	if len(p.Files) == 0 || len(p.TypesInfo.Defs) == 0 {
+		t.Fatal("missing syntax or type info")
+	}
+}
+
+// TestRunReportsDiagnostics wires a toy analyzer through the driver and
+// checks position rendering and ordering.
+func TestRunReportsDiagnostics(t *testing.T) {
+	var reportAll = &analysis.Analyzer{
+		Name: "toy",
+		Doc:  "reports every file once",
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Package, "saw %s", pass.Pkg.Name())
+			}
+			return nil, nil
+		},
+	}
+	diags, err := analysis.Run(moduleRoot(t), []string{"./internal/memguard"}, []*analysis.Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("toy analyzer reported nothing")
+	}
+	for i, d := range diags {
+		if d.Analyzer != "toy" || !strings.Contains(d.Message, "saw memguard") {
+			t.Errorf("diagnostic %d = %+v", i, d)
+		}
+		if filepath.IsAbs(d.Position.Filename) {
+			t.Errorf("position not relativized: %s", d.Position.Filename)
+		}
+		if i > 0 && diags[i].Position.Filename < diags[i-1].Position.Filename {
+			t.Errorf("diagnostics out of order at %d", i)
+		}
+		if d.Position.Line < 1 {
+			t.Errorf("file-pos diagnostic on line %d, want >= 1", d.Position.Line)
+		}
+		var _ token.Position = d.Position
+	}
+}

@@ -1,0 +1,192 @@
+// Package analysistest runs a symlint analyzer over a fixture package and
+// checks its diagnostics against expectations embedded in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are "want" comments placed on the line where a diagnostic
+// is expected:
+//
+//	sum += x[i] // want `assignment to captured variable`
+//
+// Each quoted string after "want" is a regular expression that must match
+// the message of exactly one diagnostic reported on that line. Diagnostics
+// without a matching expectation, and expectations without a matching
+// diagnostic, fail the test.
+//
+// Fixture packages live under testdata/ (so the go tool ignores them) and
+// may import both standard-library and real module packages: imports are
+// resolved through the loader's export-data importer.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis"
+)
+
+// Run analyzes the fixture package in dir (a directory of .go files,
+// typically testdata/src/<name>) under the given import path and reports
+// mismatches between diagnostics and want comments via t.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+
+	modRoot, modPath := ModuleRoot(t)
+	loader := analysis.NewLoader(modRoot)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	files, err := analysis.ParseFiles(loader.Fset(), paths)
+	if err != nil {
+		t.Fatalf("parsing fixtures: %v", err)
+	}
+
+	pkg, info, typeErrs := loader.TypeCheck(importPath, files)
+	for _, err := range typeErrs {
+		t.Errorf("fixture type error: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	wants := collectWants(t, loader.Fset(), files)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      loader.Fset(),
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Module:    &analysis.Module{Path: modPath, Dir: modRoot},
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	// Match each diagnostic to one unused expectation on its line.
+	for _, d := range diags {
+		pos := loader.Fset().Position(d.Pos)
+		key := lineKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// collectWants extracts `// want "re" ...` expectations, keyed by the file
+// and line the comment sits on.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{filepath.Base(pos.Filename), pos.Line}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+					}
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %q: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, unq, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// ModuleRoot walks up from the working directory to the enclosing go.mod
+// and returns its directory and module path.
+func ModuleRoot(t *testing.T) (dir, path string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := wd; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			t.Fatalf("go.mod in %s has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", wd)
+		}
+		d = parent
+	}
+}

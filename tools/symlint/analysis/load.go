@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, parsed, and type-checked package ready to be
+// handed to analyzers.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, non-test files only
+	Module     *Module
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// TypeErrors holds soft type-checking failures. Analyzers still run
+	// on packages with type errors, but drivers should surface them.
+	TypeErrors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Module     *struct {
+		Path string
+		Dir  string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// A Loader resolves import paths to type information using the standard
+// toolchain: `go list -export` supplies compiler export data for
+// dependencies (from the build cache, so it works fully offline), and
+// target packages are parsed and type-checked from source.
+type Loader struct {
+	// Dir is the directory `go list` runs in; it must be inside the
+	// module whose packages are being loaded.
+	Dir string
+
+	fset    *token.FileSet
+	listed  map[string]*listedPkg
+	imp     types.ImporterFrom
+	listErr map[string]error
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		listed:  make(map[string]*listedPkg),
+		listErr: make(map[string]error),
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookupExport).(types.ImporterFrom)
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load lists the packages matching patterns (plus their full dependency
+// graph, for export data) and returns the matched packages parsed and
+// type-checked, in `go list` order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range roots {
+		if lp.Standard || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		p, err := l.checkListed(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// list runs `go list -deps -export -json` and records every package in the
+// result, returning the roots (packages named by the patterns) in order.
+func (l *Loader) list(patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var roots []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		l.listed[lp.ImportPath] = lp
+		if !lp.DepOnly {
+			roots = append(roots, lp)
+		}
+	}
+	return roots, nil
+}
+
+// lookupExport feeds compiler export data to the gc importer, listing the
+// requested package on demand when it was not part of an earlier Load.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	lp, ok := l.listed[path]
+	if !ok {
+		if err, failed := l.listErr[path]; failed {
+			return nil, err
+		}
+		if _, err := l.list([]string{path}); err != nil {
+			l.listErr[path] = err
+			return nil, err
+		}
+		lp, ok = l.listed[path]
+		if !ok {
+			err := fmt.Errorf("package %q not found by go list", path)
+			l.listErr[path] = err
+			return nil, err
+		}
+	}
+	if lp.Export == "" {
+		msg := "no export data (package may not compile)"
+		if lp.Error != nil {
+			msg = lp.Error.Err
+		}
+		return nil, fmt.Errorf("package %q: %s", path, msg)
+	}
+	return os.Open(lp.Export)
+}
+
+// Importer exposes the export-data importer, for callers (analysistest)
+// that type-check extra files against real module and stdlib packages.
+func (l *Loader) Importer() types.ImporterFrom { return l.imp }
+
+func (l *Loader) checkListed(lp *listedPkg) (*Package, error) {
+	p := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       l.fset,
+	}
+	if lp.Module != nil {
+		p.Module = &Module{Path: lp.Module.Path, Dir: lp.Module.Dir}
+	}
+	for _, f := range lp.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(lp.Dir, f)
+		}
+		p.GoFiles = append(p.GoFiles, f)
+	}
+	var err error
+	p.Files, err = ParseFiles(l.fset, p.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	p.Types, p.TypesInfo, p.TypeErrors = l.TypeCheck(lp.ImportPath, p.Files)
+	return p, nil
+}
+
+// ParseFiles parses the named Go source files with comments attached.
+func ParseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// TypeCheck type-checks the given parsed files as the package importPath,
+// resolving imports through the loader's export-data importer. Soft type
+// errors are collected rather than aborting, so analyzers can still run on
+// slightly broken fixture code.
+func (l *Loader) TypeCheck(importPath string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var softErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil && len(softErrs) == 0 {
+		softErrs = append(softErrs, err)
+	}
+	return pkg, info, softErrs
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Main implements the symlint command line: it loads the packages named by
+// the positional patterns (default "./...") and applies every analyzer,
+// printing diagnostics in file:line:col order. It exits 0 when clean, 1
+// when any diagnostic was reported, and 2 on usage or load errors.
+func Main(analyzers ...*Analyzer) {
+	fs := flag.NewFlagSet("symlint", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: symlint [-only a,b] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	selected := analyzers
+	if *only != "" {
+		byName := make(map[string]*Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "symlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symlint:", err)
+		os.Exit(2)
+	}
+	diags, err := Run(wd, patterns, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "symlint: %d issue(s) found\n", n)
+		os.Exit(1)
+	}
+}
+
+// A PrintedDiagnostic is a fully resolved diagnostic with its position
+// rendered relative to the working directory.
+type PrintedDiagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d PrintedDiagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// Run loads the packages matching patterns from dir and applies the
+// analyzers, returning diagnostics sorted by position. Type-check errors in
+// the loaded packages are returned as errors: symlint requires a tree that
+// compiles.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]PrintedDiagnostic, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []PrintedDiagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Module:    pkg.Module,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+					pos.Filename = rel
+				}
+				diags = append(diags, PrintedDiagnostic{Position: pos, Analyzer: name, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package gendrift_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis"
+	"github.com/symprop/symprop/tools/symlint/analysis/analysistest"
+	"github.com/symprop/symprop/tools/symlint/analyzers/gendrift"
+)
+
+// TestCheckedInFilesAreInSync is the live guard: the committed *_gen.go
+// files must match a fresh run of their generators.
+func TestCheckedInFilesAreInSync(t *testing.T) {
+	root, _ := analysistest.ModuleRoot(t)
+	for _, target := range gendrift.Targets {
+		equal, diffLine, err := gendrift.Check(root, target.GenFile, target.Generator)
+		if err != nil {
+			t.Fatalf("%s: %v", target.GenFile, err)
+		}
+		if !equal {
+			t.Errorf("%s is out of sync with `go run %s` (first difference at line %d); run `make generate`",
+				target.GenFile, target.Generator, diffLine)
+		}
+	}
+}
+
+// TestDetectsHandEdit simulates the failure mode the analyzer exists for:
+// a hand edit to a generated file must be reported with the edited line.
+func TestDetectsHandEdit(t *testing.T) {
+	root, _ := analysistest.ModuleRoot(t)
+	orig, err := os.ReadFile(filepath.Join(root, "internal/dense/iterate_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one hot-path loop bound mid-file (`j1 := j0` → `j1 := j0 + 1`
+	// turns an inclusive triangular walk exclusive): exactly the silent
+	// index bug class the analyzer guards against.
+	edited := bytes.Replace(orig, []byte("j1 := j0;"), []byte("j1 := j0 + 1;"), 1)
+	if bytes.Equal(edited, orig) {
+		t.Fatal("fixture token `j1 := j0;` not found in iterate_gen.go; update the tamper edit")
+	}
+	tampered := filepath.Join(t.TempDir(), "iterate_gen.go")
+	if err := os.WriteFile(tampered, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	equal, diffLine, err := gendrift.Check(root, tampered, "./tools/geniterate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if equal {
+		t.Fatal("Check did not detect a hand-edited generated file")
+	}
+	if diffLine <= 0 {
+		t.Fatalf("Check reported non-positive first-diff line %d", diffLine)
+	}
+}
+
+// TestAnalyzerCleanOnRepo drives gendrift through the real multichecker
+// pipeline over the packages owning generated files.
+func TestAnalyzerCleanOnRepo(t *testing.T) {
+	root, _ := analysistest.ModuleRoot(t)
+	diags, err := analysis.Run(root, []string{"./internal/dense", "./internal/kernels"},
+		[]*analysis.Analyzer{gendrift.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func TestFirstDiffLine(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"a\nb\nc\n", "a\nb\nc\n", 5}, // equal inputs: one past the last split line (callers check equality first)
+		{"a\nb\nc\n", "a\nX\nc\n", 2},
+		{"a\n", "a\nb\n", 2},
+		{"", "x", 1},
+	}
+	for _, c := range cases {
+		if got := gendrift.FirstDiffLine([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("FirstDiffLine(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package iouiter defines an analyzer that flags hand-written triangular
+// loop nests over symmetric (index-ordered-unique) layouts.
+//
+// Paper Property 1 guarantees that every dense intermediate in SymProp is
+// walked in compact IOU order with zero per-entry index arithmetic — but
+// only when iteration goes through the internal/dense engine
+// (ForEachIOU, OuterAccum and the generated unrolled nests). A raw nest
+// such as
+//
+//	for j1 := 0; j1 < dim; j1++ {
+//		for j2 := j1; j2 < dim; j2++ { ... }
+//	}
+//
+// re-derives the triangular bounds by hand; those are exactly the loops
+// where silent off-by-one and ordering bugs hide (SySTeC, Shi et al.), and
+// they silently diverge from the engine's layout if the layout changes.
+//
+// The analyzer reports any ≥2-deep loop chain in the target packages where
+// an inner loop's start expression is an enclosing loop's index variable
+// (optionally +1). Deliberate raw nests — ablation baselines, layout
+// definitions — are allowlisted with a justified directive:
+//
+//	//symlint:rawloop boundary-trace ablation measures exactly this pattern
+package iouiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/symprop/symprop/tools/symlint/analysis"
+	"github.com/symprop/symprop/tools/symlint/analyzers/lintutil"
+)
+
+// TargetSuffixes limits the analyzer to packages whose import path ends in
+// one of these suffixes: the packages that consume symmetric layouts.
+// Overridable for tests.
+var TargetSuffixes = []string{"internal/kernels", "internal/tucker"}
+
+// MinDepth is the triangular chain length at which a nest is reported.
+const MinDepth = 2
+
+var Analyzer = &analysis.Analyzer{
+	Name: "iouiter",
+	Doc: "flags raw triangular loop nests over symmetric layouts that bypass the internal/dense iterate engine\n\n" +
+		"Use dense.ForEachIOU/OuterAccum (paper Property 1) or annotate the nest with //symlint:rawloop <justification>.",
+	Run: run,
+}
+
+// loop records one enclosing loop during the walk. up is the lexically
+// enclosing loop in the same function; chain is the triangular predecessor
+// (the loop whose index variable this loop's range starts at).
+type loop struct {
+	node  ast.Node     // *ast.ForStmt or *ast.RangeStmt
+	obj   types.Object // index variable, if any
+	depth int          // triangular chain length ending at this loop
+	chain *loop
+	up    *loop
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PathMatches(pass.Pkg.Path(), TargetSuffixes) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if lintutil.IsGenerated(f) {
+			continue
+		}
+		w := &walker{pass: pass, directives: lintutil.Collect(pass.Fset, f, "rawloop")}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w.walk(fd.Body, nil)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type walker struct {
+	pass       *analysis.Pass
+	directives lintutil.Directives
+}
+
+// walk traverses n with top as the innermost enclosing loop.
+func (w *walker) walk(n ast.Node, top *loop) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		l := &loop{node: n, depth: 1, up: top}
+		if obj, from := w.forLoopVar(n); obj != nil {
+			l.obj = obj
+			if from != nil {
+				for enc := top; enc != nil; enc = enc.up {
+					if enc.obj != nil && enc.obj == from {
+						l.depth = enc.depth + 1
+						l.chain = enc
+						break
+					}
+				}
+			}
+		}
+		if l.depth == MinDepth { // report once per nest, where the threshold is crossed
+			w.report(n, l)
+		}
+		for _, s := range n.Body.List {
+			w.walk(s, l)
+		}
+		return
+	case *ast.RangeStmt:
+		l := &loop{node: n, depth: 1, up: top}
+		if key, ok := n.Key.(*ast.Ident); ok {
+			l.obj = w.pass.TypesInfo.Defs[key]
+		}
+		for _, s := range n.Body.List {
+			w.walk(s, l)
+		}
+		return
+	case *ast.FuncLit:
+		// New function body: its loops do not nest with enclosing ones.
+		w.walk(n.Body, nil)
+		return
+	}
+	// Generic traversal preserving the current loop stack: recurse into
+	// any nested loop or closure, descend normally otherwise.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n || c == nil {
+			return true
+		}
+		switch c.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			w.walk(c, top)
+			return false
+		}
+		return true
+	})
+}
+
+// forLoopVar extracts a 3-clause for loop's index variable and, when the
+// init start expression is an enclosing variable (triangular pattern
+// `j := i` or `j := i+1`), the used object it starts from.
+func (w *walker) forLoopVar(n *ast.ForStmt) (def types.Object, from types.Object) {
+	init, ok := n.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil, nil
+	}
+	lhs, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	def = w.pass.TypesInfo.Defs[lhs]
+
+	rhs := ast.Unparen(init.Rhs[0])
+	if b, ok := rhs.(*ast.BinaryExpr); ok && b.Op == token.ADD {
+		// `j := i + 1` — strictly upper-triangular start.
+		if isIntLit(b.Y, "1") {
+			rhs = ast.Unparen(b.X)
+		} else if isIntLit(b.X, "1") {
+			rhs = ast.Unparen(b.Y)
+		}
+	}
+	if id, ok := rhs.(*ast.Ident); ok {
+		from = w.pass.TypesInfo.Uses[id]
+	}
+	return def, from
+}
+
+func isIntLit(e ast.Expr, text string) bool {
+	l, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && l.Kind == token.INT && l.Value == text
+}
+
+func (w *walker) report(n *ast.ForStmt, l *loop) {
+	// A directive on any loop of the chain (its own line or the line
+	// above) suppresses the nest; an empty justification is itself
+	// reported so allowlisting stays auditable.
+	for c := l; c != nil; c = c.chain {
+		if just, ok := w.directives.Suppressed(w.pass.Fset, c.node.Pos()); ok {
+			if just == "" {
+				w.pass.Reportf(c.node.Pos(), "//symlint:rawloop directive needs a justification string")
+			}
+			return
+		}
+	}
+	w.pass.Reportf(n.Pos(),
+		"raw triangular loop nest over a symmetric layout bypasses the internal/dense iterate engine; use dense.ForEachIOU/OuterAccum (paper Property 1) or annotate with //symlint:rawloop <why>")
+}

@@ -1,0 +1,16 @@
+package iouiter_test
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis/analysistest"
+	"github.com/symprop/symprop/tools/symlint/analyzers/iouiter"
+)
+
+func TestTargetPackage(t *testing.T) {
+	analysistest.Run(t, iouiter.Analyzer, "testdata/src/internal/kernels", "fixture.example/internal/kernels")
+}
+
+func TestNonTargetPackageExempt(t *testing.T) {
+	analysistest.Run(t, iouiter.Analyzer, "testdata/src/other", "fixture.example/other")
+}

@@ -1,0 +1,111 @@
+// Package kernels is an iouiter fixture: its import path ends in
+// internal/kernels, which places it inside the analyzer's target set.
+package kernels
+
+// rawPair is the classic hand-rolled order-2 IOU nest.
+func rawPair(dim int) int {
+	total := 0
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ { // want `raw triangular loop nest`
+			total += i + j
+		}
+	}
+	return total
+}
+
+// rawTriple reports exactly once, where the chain reaches the threshold.
+func rawTriple(dim int) int {
+	total := 0
+	for a := 0; a < dim; a++ {
+		for b := a; b < dim; b++ { // want `raw triangular loop nest`
+			for c := b; c < dim; c++ {
+				total += a + b + c
+			}
+		}
+	}
+	return total
+}
+
+// strictUpper uses the j := i+1 strictly-upper-triangular start.
+func strictUpper(dim int) int {
+	n := 0
+	for i := 0; i < dim; i++ {
+		for j := i + 1; j < dim; j++ { // want `raw triangular loop nest`
+			n += i * j
+		}
+	}
+	return n
+}
+
+// rangeOuter: a range loop can be the outer link of a triangular chain.
+func rangeOuter(xs []int) int {
+	n := 0
+	for i := range xs {
+		for j := i; j < len(xs); j++ { // want `raw triangular loop nest`
+			n += xs[j]
+		}
+	}
+	return n
+}
+
+// rectangular nests iterate the full cross product and are fine.
+func rectangular(dim int) int {
+	n := 0
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			n += i * j
+		}
+	}
+	return n
+}
+
+// fromLocal starts at a plain local, not an enclosing loop variable.
+func fromLocal(dim int) int {
+	n := 0
+	start := dim / 2
+	for j := start; j < dim; j++ {
+		for k := start; k < dim; k++ {
+			n++
+		}
+	}
+	return n
+}
+
+// closureBoundary: the inner loop reads a captured variable but lives in a
+// different function body, so it is not part of the enclosing nest.
+func closureBoundary(dim int) func() int {
+	for i := 0; i < dim; i++ {
+		return func() int {
+			n := 0
+			for j := i; j < dim; j++ {
+				n++
+			}
+			return n
+		}
+	}
+	return nil
+}
+
+// allowed carries a justified directive on the outer loop of the chain.
+func allowed(dim int) int {
+	n := 0
+	//symlint:rawloop fixture: deliberate ablation-style nest kept as a baseline
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			n++
+		}
+	}
+	return n
+}
+
+// unjustified suppresses the nest but forgets the why.
+func unjustified(dim int) int {
+	n := 0
+	for i := 0; i < dim; i++ {
+		//symlint:rawloop
+		for j := i; j < dim; j++ { // want `needs a justification`
+			n++
+		}
+	}
+	return n
+}

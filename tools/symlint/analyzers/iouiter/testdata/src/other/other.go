@@ -1,0 +1,14 @@
+// Package other is outside the iouiter target set: triangular nests here
+// (matrix upper triangles, combinatorial scans) are legitimate and must
+// not be reported.
+package other
+
+func upperTriangle(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			total += i * j
+		}
+	}
+	return total
+}

@@ -1,0 +1,76 @@
+// Package lintutil holds small helpers shared by the symlint analyzers:
+// suppression-directive parsing, generated-file detection, and package
+// targeting.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives maps source lines to the justification text of a
+// //symlint:<name> directive. A directive suppresses findings on its own
+// line and on the line immediately below it, so both placements work:
+//
+//	//symlint:rawloop ablation baseline measures exactly this pattern
+//	for i := 0; i < n; i++ { ... }
+//
+//	for j := i; j < n; j++ { // symlint directives must be // comments
+type Directives map[int]string
+
+// Collect gathers //symlint:<name> directives from the file. The
+// justification is everything after the directive token; analyzers should
+// treat an empty justification as a finding of its own.
+func Collect(fset *token.FileSet, file *ast.File, name string) Directives {
+	prefix := "//symlint:" + name
+	d := make(Directives)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, prefix) {
+				continue
+			}
+			rest := c.Text[len(prefix):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // longer directive name, e.g. rawloopx
+			}
+			line := fset.Position(c.Pos()).Line
+			just := strings.TrimSpace(rest)
+			d[line] = just
+			if _, taken := d[line+1]; !taken {
+				d[line+1] = just
+			}
+		}
+	}
+	return d
+}
+
+// Suppressed reports whether a directive covers the given position, along
+// with its justification.
+func (d Directives) Suppressed(fset *token.FileSet, pos token.Pos) (string, bool) {
+	just, ok := d[fset.Position(pos).Line]
+	return just, ok
+}
+
+// IsGenerated reports whether the file carries a standard
+// "Code generated ... DO NOT EDIT." marker.
+func IsGenerated(f *ast.File) bool { return ast.IsGenerated(f) }
+
+// PathMatches reports whether the import path equals one of the suffixes
+// or ends with "/"+suffix — e.g. "internal/kernels" matches both the real
+// module package and fixture packages named <anything>/internal/kernels.
+func PathMatches(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeclaredWithin reports whether pos lies inside the half-open source
+// interval of node — used to distinguish a closure's own declarations from
+// captured ones.
+func DeclaredWithin(pos token.Pos, node ast.Node) bool {
+	return pos.IsValid() && pos >= node.Pos() && pos < node.End()
+}

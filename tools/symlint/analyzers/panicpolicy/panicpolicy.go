@@ -1,0 +1,115 @@
+// Package panicpolicy defines an analyzer that forbids bare panics in the
+// library packages.
+//
+// SymProp's library layer (internal/dense, internal/kernels,
+// internal/linalg, internal/tucker, internal/spsym and the root symprop
+// package) is long-running server material: a panic that escapes an
+// exported function takes down the whole process. The policy:
+//
+//   - runtime-reachable failures return errors;
+//   - programmer-invariant violations (shape mismatches between internal
+//     buffers, impossible enum values) may panic, but only inside a
+//     documented mustXxx helper whose doc comment states the invariant —
+//     so every panic site in a library package is a named, reviewed
+//     decision rather than a scattered fmt.Sprintf;
+//   - anything else needs a justified //symlint:panic directive.
+//
+// Generated files and test files are exempt.
+package panicpolicy
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/symprop/symprop/tools/symlint/analysis"
+	"github.com/symprop/symprop/tools/symlint/analyzers/lintutil"
+)
+
+// TargetSuffixes are the library packages the policy applies to. The root
+// package is matched via RootPackage against the module path. Overridable
+// for tests.
+var TargetSuffixes = []string{
+	"internal/dense",
+	"internal/kernels",
+	"internal/linalg",
+	"internal/tucker",
+	"internal/spsym",
+}
+
+// RootPackage applies the policy to the module root package (the public
+// symprop API) as well.
+var RootPackage = true
+
+var Analyzer = &analysis.Analyzer{
+	Name: "panicpolicy",
+	Doc: "forbids panic outside documented mustXxx invariant helpers in library packages\n\n" +
+		"Convert runtime-reachable panics to error returns; wrap programmer-invariant checks in a doc-commented mustXxx helper.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	inTarget := lintutil.PathMatches(path, TargetSuffixes) ||
+		(RootPackage && pass.Module != nil && path == pass.Module.Path)
+	if !inTarget {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if lintutil.IsGenerated(f) {
+			continue
+		}
+		directives := lintutil.Collect(pass.Fset, f, "panic")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			allowed, whyNot := mustHelperStatus(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Only the builtin: a local function named panic (none in
+				// this codebase) would resolve to a non-nil Uses object
+				// with a declaring package.
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil {
+					return true
+				}
+				if allowed {
+					return true
+				}
+				if just, ok := directives.Suppressed(pass.Fset, call.Pos()); ok {
+					if just == "" {
+						pass.Reportf(call.Pos(), "//symlint:panic directive needs a justification string")
+					}
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic in library package %s%s; return an error for runtime-reachable failures, or move the check into a doc-commented mustXxx invariant helper",
+					path, whyNot)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// mustHelperStatus decides whether fd is a sanctioned invariant helper: a
+// function whose name starts with "must"/"Must" and that carries a doc
+// comment stating the invariant. The second result refines the diagnostic
+// for near misses.
+func mustHelperStatus(fd *ast.FuncDecl) (allowed bool, whyNot string) {
+	name := fd.Name.Name
+	if !strings.HasPrefix(name, "must") && !strings.HasPrefix(name, "Must") {
+		return false, ""
+	}
+	if fd.Doc == nil || strings.TrimSpace(fd.Doc.Text()) == "" {
+		return false, " (function " + name + " is named like an invariant helper but has no doc comment stating the invariant)"
+	}
+	return true, ""
+}

@@ -1,0 +1,16 @@
+package panicpolicy_test
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis/analysistest"
+	"github.com/symprop/symprop/tools/symlint/analyzers/panicpolicy"
+)
+
+func TestLibraryPackage(t *testing.T) {
+	analysistest.Run(t, panicpolicy.Analyzer, "testdata/src/internal/dense", "fixture.example/internal/dense")
+}
+
+func TestNonTargetPackageExempt(t *testing.T) {
+	analysistest.Run(t, panicpolicy.Analyzer, "testdata/src/other", "fixture.example/other")
+}

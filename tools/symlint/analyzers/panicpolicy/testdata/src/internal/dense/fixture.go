@@ -1,0 +1,46 @@
+// Package dense is a panicpolicy fixture: its import path ends in
+// internal/dense, which places it inside the policy's target set.
+package dense
+
+import "fmt"
+
+// Reachable validates runtime input the wrong way: it should return error.
+func Reachable(x int) {
+	if x < 0 {
+		panic("negative input") // want `panic in library package`
+	}
+}
+
+// mustPositive panics when x is not positive. Callers establish x > 0 at
+// the API boundary, so a violation is a programming bug, not a runtime
+// condition.
+func mustPositive(x int) {
+	if x <= 0 {
+		panic(fmt.Sprintf("fixture: non-positive x=%d", x))
+	}
+}
+
+// UsesHelper routes its invariant through the documented helper.
+func UsesHelper(x int) { mustPositive(x) }
+
+func mustUndocumented(x int) {
+	if x == 0 {
+		panic("boom") // want `no doc comment stating the invariant`
+	}
+}
+
+// Annotated justifies an inline panic with a directive.
+func Annotated(kind int) int {
+	switch kind {
+	case 0, 1:
+		return kind
+	default:
+		panic("unreachable") //symlint:panic kind is validated by the exported wrapper
+	}
+}
+
+// Unjustified carries a bare directive, which is itself a finding.
+func Unjustified() {
+	//symlint:panic
+	panic("x") // want `needs a justification`
+}

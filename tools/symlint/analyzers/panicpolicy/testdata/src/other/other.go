@@ -1,0 +1,8 @@
+// Package other sits outside the panicpolicy target set (it is neither a
+// core library package nor the module root), so its panics are not
+// reported.
+package other
+
+func Explode() {
+	panic("fine here")
+}

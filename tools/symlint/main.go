@@ -1,0 +1,31 @@
+// Command symlint is SymProp's project lint suite: a multichecker bundling
+// the four analyzers that enforce the invariants the Go compiler cannot
+// see. Run it over the whole repository with
+//
+//	make lint            # == go run ./tools/symlint ./...
+//
+// Analyzers (see docs/LINTING.md for the full policy and suppression
+// directives):
+//
+//	iouiter      raw triangular loop nests must go through internal/dense
+//	parafor      closures passed to linalg.ParallelFor* must be race-free
+//	gendrift     *_gen.go files must match a fresh generator run
+//	panicpolicy  library panics only inside documented mustXxx helpers
+package main
+
+import (
+	"github.com/symprop/symprop/tools/symlint/analysis"
+	"github.com/symprop/symprop/tools/symlint/analyzers/gendrift"
+	"github.com/symprop/symprop/tools/symlint/analyzers/iouiter"
+	"github.com/symprop/symprop/tools/symlint/analyzers/panicpolicy"
+	"github.com/symprop/symprop/tools/symlint/analyzers/parafor"
+)
+
+func main() {
+	analysis.Main(
+		iouiter.Analyzer,
+		parafor.Analyzer,
+		gendrift.Analyzer,
+		panicpolicy.Analyzer,
+	)
+}
