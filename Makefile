@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke bench verify examples reproduce generate clean
+.PHONY: all build test test-race vet lint fuzz-smoke bench bench-json verify examples reproduce generate clean
 
 all: build vet lint test
 
@@ -37,6 +37,12 @@ fuzz-smoke:
 # testing.B benchmarks (one family per paper table/figure).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Snapshot the scheduling + GEMM ablation benchmarks into BENCH_<date>.json
+# (benchstat-compatible raw text inside; see tools/benchjson). Checked-in
+# snapshots pin the perf trajectory PR over PR.
+bench-json:
+	$(GO) run ./tools/benchjson -benchtime=20x
 
 # Cross-implementation equivalence gate.
 verify:

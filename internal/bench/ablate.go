@@ -41,7 +41,46 @@ func Ablate(w io.Writer, p Profile) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	return ablateRandomizedHOOI(w, p)
+	if err := ablateRandomizedHOOI(w, p); err != nil {
+		return err
+	}
+	return ablateScheduling(w, p)
+}
+
+// ablateScheduling measures the accumulation-strategy ablation of DESIGN.md
+// §6: the identical SymProp kernel with contention-free owner-computes
+// scheduling against the historical striped-lock baseline, at one worker
+// (pure overhead comparison — no locks vs uncontended locks) and at several
+// (lock traffic vs spill-and-reduce).
+func ablateScheduling(w io.Writer, p Profile) error {
+	order, dim, nnz, rank := p.SweepBase()
+	x, err := spsym.Random(spsym.RandomOptions{Order: order, Dim: dim, NNZ: nnz, Seed: 75})
+	if err != nil {
+		return err
+	}
+	u := randomU(dim, rank, 76)
+	fmt.Fprintf(w, "Ablation 7: accumulation scheduling (order=%d dim=%d unnz=%d rank=%d)\n\n",
+		order, dim, x.NNZ(), rank)
+	var scheds kernels.ScheduleCache
+	run := func(workers int, sched kernels.Scheduling) Measurement {
+		return timeOp(p.Reps(), func() error {
+			_, err := kernels.S3TTMcSymProp(x, u, kernels.Options{
+				Guard: memguard.FromEnv(), Workers: workers,
+				Scheduling: sched, Schedules: &scheds,
+			})
+			return err
+		})
+	}
+	var rows [][]string
+	for _, workers := range []int{1, 2, 4} {
+		striped := run(workers, kernels.SchedStripedLocks)
+		owner := run(workers, kernels.SchedOwnerComputes)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", workers), striped.Format(), owner.Format(), speedup(striped, owner),
+		})
+	}
+	table(w, []string{"workers", "striped-locks", "owner-computes", "owner speedup"}, rows)
+	return nil
 }
 
 // ablateRandomizedHOOI compares faithful HOOI (exact SVD over the full

@@ -9,6 +9,13 @@ import (
 // Memory-footprint estimators, exposed so the benchmark harness can
 // classify a configuration as OOM from the model — exactly the annotation
 // the paper's figures carry — without waiting for a doomed run.
+//
+// The estimates deliberately exclude the owner-computes spill buffers:
+// that allocation is transient, charged against the Guard at kernel entry
+// by resolveScheduling, and released when the kernel returns. Under
+// SchedAuto a failed spill reservation silently falls back to striped
+// locks, so the modeled footprints below remain the true peak for every
+// configuration the harness classifies.
 
 // EstimateSymPropBytes returns the SymProp S³TTMc footprint: compact
 // Y_p(1) plus per-worker compact lattice workspaces.

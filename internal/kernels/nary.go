@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"sync"
-
 	"github.com/symprop/symprop/internal/dense"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
@@ -59,59 +57,133 @@ func NaryTTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*NaryResult, e
 
 	core := linalg.NewMatrix(r, int(kronLen))
 
-	// Pass 1: accumulate the core from every expanded non-zero.
-	var mu sync.Mutex
-	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
-		partial := linalg.NewMatrix(r, int(kronLen))
-		kron := make([]float64, kronLen)
-		sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
-			Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
-		sub.ForEachExpanded(func(idx []int32, val float64) {
-			kronRows(u, idx[1:], kron)
-			urow := u.Row(int(idx[0]))
-			for r1 := 0; r1 < r; r1++ {
-				c := val * urow[r1]
-				row := partial.Row(r1)
-				for j, kv := range kron {
-					row[j] += c * kv
+	// Pass 1: accumulate the core from every expanded non-zero. Each worker
+	// fills a private partial over a fixed non-zero range; the reduction
+	// folds partials in worker order so the core — and everything computed
+	// from it in pass 2 — is bitwise-reproducible for a given worker count.
+	coreWorkers := workers
+	if coreWorkers > x.NNZ() {
+		coreWorkers = x.NNZ()
+	}
+	if coreWorkers < 1 {
+		coreWorkers = 1
+	}
+	partials := make([]*linalg.Matrix, coreWorkers)
+	linalg.ParallelForWorkers(coreWorkers, coreWorkers, func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			lo, hi := chunkRange(x.NNZ(), coreWorkers, w)
+			partial := linalg.NewMatrix(r, int(kronLen))
+			partials[w] = partial
+			kron := make([]float64, kronLen)
+			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
+				Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
+			sub.ForEachExpanded(func(idx []int32, val float64) {
+				kronRows(u, idx[1:], kron)
+				urow := u.Row(int(idx[0]))
+				for r1 := 0; r1 < r; r1++ {
+					c := val * urow[r1]
+					row := partial.Row(r1)
+					for j, kv := range kron {
+						row[j] += c * kv
+					}
 				}
-			}
-		})
-		mu.Lock()
+			})
+		}
+	})
+	for _, partial := range partials {
 		for i, v := range partial.Data {
 			core.Data[i] += v
 		}
-		mu.Unlock()
-	})
+	}
 
-	// Pass 2: A(i1,:) += x · C(1)·kron.
+	// Pass 2: A(i1,:) += x · C(1)·kron. The scatter into A's rows follows
+	// the same leading-row emission pattern as every other kernel, so the
+	// accumulation strategy is resolved the same way: owner-computes with
+	// spill by default, striped locks as the ablation baseline.
 	a := linalg.NewMatrix(x.Dim, r)
+	if x.NNZ() == 0 {
+		return &NaryResult{A: a, CoreFull: core}, nil
+	}
+	if workers > x.NNZ() {
+		workers = x.NNZ()
+	}
+	mode, release, err := resolveScheduling(opts, a.Rows, a.Cols, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if mode == SchedOwnerComputes {
+		naryScatterOwner(x, u, opts, workers, core, a)
+	} else {
+		naryScatterStriped(x, u, workers, core, a)
+	}
+	return &NaryResult{A: a, CoreFull: core}, nil
+}
+
+// naryContrib computes contrib = val · C(1)·kron for one expanded
+// permutation.
+func naryContrib(core *linalg.Matrix, kron []float64, val float64, contrib []float64) {
+	for r1 := range contrib {
+		row := core.Row(r1)
+		var s float64
+		for j, kv := range kron {
+			s += row[j] * kv
+		}
+		contrib[r1] = val * s
+	}
+}
+
+// naryScatterOwner is the contention-free pass 2: non-zeros are binned to
+// the worker owning their leading row; foreign rows go to spill buffers.
+func naryScatterOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int,
+	core, a *linalg.Matrix) {
+	sched := opts.Schedules.get(x, workers)
+	workers = sched.workers
+	spills := newSpillSet(opts.Schedules, workers, a.Rows, a.Cols)
+	linalg.ParallelForWorkers(workers, workers, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			kron := make([]float64, core.Cols)
+			contrib := make([]float64, a.Cols)
+			rowLo, rowHi := sched.ownedRows(w)
+			spill := spills.buffer(w)
+			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			for _, k32 := range sched.bin(w) {
+				k := int(k32)
+				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
+				sub.Values = x.Values[k : k+1]
+				sub.ForEachExpanded(func(idx []int32, val float64) {
+					kronRows(u, idx[1:], kron)
+					naryContrib(core, kron, val, contrib)
+					row := int(idx[0])
+					if row >= rowLo && row < rowHi {
+						dense.AxpyCompact(1, contrib, a.Row(row))
+					} else {
+						spill.add(row, 1, contrib)
+					}
+				})
+			}
+		}
+	})
+	spills.reduceInto(a, workers, opts.Schedules)
+}
+
+// naryScatterStriped is the striped-lock ablation baseline of pass 2.
+func naryScatterStriped(x *spsym.Tensor, u *linalg.Matrix, workers int, core, a *linalg.Matrix) {
 	var locks rowLocks
 	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
-		kron := make([]float64, kronLen)
-		contrib := make([]float64, r)
+		kron := make([]float64, core.Cols)
+		contrib := make([]float64, a.Cols)
 		sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
 			Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
 		sub.ForEachExpanded(func(idx []int32, val float64) {
 			kronRows(u, idx[1:], kron)
-			for r1 := 0; r1 < r; r1++ {
-				row := core.Row(r1)
-				var s float64
-				for j, kv := range kron {
-					s += row[j] * kv
-				}
-				contrib[r1] = val * s
-			}
+			naryContrib(core, kron, val, contrib)
 			row := int(idx[0])
 			locks.lock(row)
-			arow := a.Row(row)
-			for r1 := 0; r1 < r; r1++ {
-				arow[r1] += contrib[r1]
-			}
+			dense.AxpyCompact(1, contrib, a.Row(row))
 			locks.unlock(row)
 		})
 	})
-	return &NaryResult{A: a, CoreFull: core}, nil
 }
 
 // kronRows writes the Kronecker product of the U rows selected by idx into

@@ -11,8 +11,10 @@
 //     expanded non-zero set (internal/csf).
 //   - S3TTMcTC — paper Algorithm 2, feeding HOQRI.
 //
-// All kernels parallelize over IOU non-zeros with striped row locks on the
-// output and per-worker lattice workspaces.
+// All kernels parallelize over IOU non-zeros with per-worker lattice
+// workspaces; output accumulation is contention-free by default
+// (owner-computes scheduling, see schedule.go) with the historical
+// striped-lock strategy kept behind Options.Scheduling as an ablation.
 package kernels
 
 import (
@@ -69,6 +71,14 @@ type Options struct {
 	CrossNZCacheBytes int64
 	// Stats, when non-nil, receives aggregated cache statistics.
 	Stats *CacheStats
+	// Scheduling selects the parallel accumulation strategy: owner-computes
+	// (contention-free, the default via SchedAuto) or striped row locks
+	// (the ablation baseline). See schedule.go.
+	Scheduling Scheduling
+	// Schedules carries owner-computes schedules across calls (e.g. across
+	// Tucker iterations), the scheduling analog of PlanCache. nil rebuilds
+	// the schedule per call.
+	Schedules *ScheduleCache
 }
 
 func (o Options) workers() int {
@@ -232,16 +242,78 @@ func fullOuterAccum(dst, src, u []float64) {
 	}
 }
 
+// latticeChunk is the dynamic-scheduling chunk size of the striped-lock
+// path: per-non-zero lattice cost varies with the multiplicity signature,
+// so workers claim fixed-size chunks instead of a static equal-count split.
+const latticeChunk = 64
+
+// latticeState is the per-worker mutable state of one runLattice call: the
+// lattice workspace plus the optional cross-non-zero K cache. The striped
+// path recycles states through a free list (linalg.ParallelChunks hands
+// chunks to whichever worker is idle, so states cannot be goroutine-local);
+// the owner path holds one per owner.
+type latticeState struct {
+	ws  *workspace
+	nzc *nzCache
+}
+
+func newLatticeState(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool) *latticeState {
+	st := &latticeState{ws: opts.Pool.get(x.Order, u.Cols, compact)}
+	if compact && opts.CrossNZCacheBytes > 0 {
+		st.nzc = newNZCache(opts.CrossNZCacheBytes)
+	}
+	return st
+}
+
+// finish returns the workspace to the pool and folds cache statistics into
+// opts.Stats. It runs serially after the parallel region, so stats
+// aggregation shares no lock with anything (in particular not with error
+// reporting, which it historically contended with).
+func (st *latticeState) finish(opts Options) {
+	opts.Pool.put(st.ws)
+	if st.nzc != nil && opts.Stats != nil {
+		opts.Stats.Hits += st.nzc.hits
+		opts.Stats.Misses += st.nzc.misses
+	}
+}
+
+// evalNonZero computes the K lattice of non-zero k into st's buffers,
+// dispatching to the cached / generated / interpreted evaluator exactly as
+// configured. It returns the plan and the distinct index values; the caller
+// reads the top level from the returned buffers.
+func evalNonZero(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool,
+	cache *css.Cache, st *latticeState, k int) (*css.Plan, []int32, *latticeBufs, error) {
+	tuple := x.IndexAt(k)
+	values, sig := css.Signature(tuple, st.ws.values, st.ws.sig)
+	plan, err := cache.Get(sig)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bufs := st.ws.get(plan)
+	switch {
+	case st.nzc != nil:
+		evalLatticeCached(plan, bufs, values, sig, u, st.nzc, opts.Iteration)
+	case compact && opts.Iteration == IterGenerated &&
+		plan.Slots == plan.Order &&
+		evalDistinctGen(plan.Order, bufs, values, u, u.Cols):
+		// handled by the generated straight-line evaluator
+	default:
+		evalLattice(plan, bufs, values, u, compact, opts.Iteration)
+	}
+	return plan, values, bufs, nil
+}
+
 // runLattice is the shared driver: computes the K lattice for every IOU
-// non-zero and hands each top tensor to emit(row, scale, top) under the
-// per-row striped lock. Workers pull fixed-size chunks from an atomic
-// cursor (dynamic scheduling): per-non-zero lattice cost varies with the
-// multiplicity signature, so a static equal-count split can imbalance.
-func runLattice(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool,
-	emit func(row int, scale float64, top []float64)) error {
+// non-zero and accumulates each top tensor into its output row of y,
+// scaled by the non-zero's value. The accumulation strategy is resolved by
+// Options.Scheduling: owner-computes (contention-free; default) or striped
+// row locks (the ablation baseline).
+func runLattice(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool, y *linalg.Matrix) error {
 	cache := opts.cache()
-	var locks rowLocks
 	nnz := x.NNZ()
+	if nnz == 0 {
+		return nil
+	}
 	workers := opts.workers()
 	if workers > nnz {
 		workers = nnz
@@ -249,76 +321,133 @@ func runLattice(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool,
 	if workers < 1 {
 		workers = 1
 	}
+	mode, release, err := resolveScheduling(opts, y.Rows, y.Cols, workers)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if mode == SchedOwnerComputes {
+		return runLatticeOwner(x, u, opts, compact, cache, workers, y)
+	}
+	return runLatticeStriped(x, u, opts, compact, cache, workers, y)
+}
+
+// runLatticeOwner is the owner-computes driver (schedule.go): workers
+// process the non-zeros binned to their row partition, write owned rows
+// directly, spill foreign rows into private buffers, and a deterministic
+// reduction folds the spills into y.
+func runLatticeOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool,
+	cache *css.Cache, workers int, y *linalg.Matrix) error {
+	sched := opts.Schedules.get(x, workers)
+	workers = sched.workers // clamped to the row count
+	spills := newSpillSet(opts.Schedules, workers, y.Rows, y.Cols)
+	states := make([]*latticeState, workers)
+	errs := make([]error, workers)
+	// One chunk of length 1 per worker: the closure parameter is the owner
+	// index, so every slice store below is chunk-derived.
+	linalg.ParallelForWorkers(workers, workers, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			st := newLatticeState(x, u, opts, compact)
+			states[w] = st
+			rowLo, rowHi := sched.ownedRows(w)
+			spill := spills.buffer(w)
+			for _, k32 := range sched.bin(w) {
+				k := int(k32)
+				plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				topLevel := bufs.levels[len(plan.Levels)-1]
+				val := x.Values[k]
+				for slot, node := range plan.Tops {
+					row := int(values[slot])
+					if row >= rowLo && row < rowHi {
+						dense.AxpyCompact(val, topLevel[node], y.Row(row))
+					} else {
+						spill.add(row, val, topLevel[node])
+					}
+				}
+			}
+		}
+	})
+	for _, st := range states {
+		if st != nil {
+			st.finish(opts)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	spills.reduceInto(y, workers, opts.Schedules)
+	return nil
+}
+
+// runLatticeStriped is the historical strategy: dynamic chunks of
+// non-zeros (via linalg.ParallelChunks, which owns the atomic-cursor loop
+// this function used to hand-roll) with every row update serialized
+// through the striped locks.
+func runLatticeStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool,
+	cache *css.Cache, workers int, y *linalg.Matrix) error {
+	var locks rowLocks
+	nnz := x.NNZ()
 
 	var firstErr error
 	var errMu sync.Mutex
-	var cursor atomic.Int64
-	const chunk = 64
+	var failed atomic.Bool
 
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			ws := opts.Pool.get(x.Order, u.Cols, compact)
-			defer opts.Pool.put(ws)
-			var nzc *nzCache
-			if compact && opts.CrossNZCacheBytes > 0 {
-				nzc = newNZCache(opts.CrossNZCacheBytes)
-				if opts.Stats != nil {
-					defer func() {
-						errMu.Lock()
-						opts.Stats.Hits += nzc.hits
-						opts.Stats.Misses += nzc.misses
-						errMu.Unlock()
-					}()
-				}
-			}
-			for {
-				lo := int(cursor.Add(chunk)) - chunk
-				if lo >= nnz {
-					return
-				}
-				hi := lo + chunk
-				if hi > nnz {
-					hi = nnz
-				}
-				for k := lo; k < hi; k++ {
-					tuple := x.IndexAt(k)
-					values, sig := css.Signature(tuple, ws.values, ws.sig)
-					plan, err := cache.Get(sig)
-					if err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						errMu.Unlock()
-						return
-					}
-					bufs := ws.get(plan)
-					switch {
-					case nzc != nil:
-						evalLatticeCached(plan, bufs, values, sig, u, nzc, opts.Iteration)
-					case compact && opts.Iteration == IterGenerated &&
-						plan.Slots == plan.Order &&
-						evalDistinctGen(plan.Order, bufs, values, u, u.Cols):
-						// handled by the generated straight-line evaluator
-					default:
-						evalLattice(plan, bufs, values, u, compact, opts.Iteration)
-					}
-					topLevel := bufs.levels[len(plan.Levels)-1]
-					val := x.Values[k]
-					for slot, node := range plan.Tops {
-						row := int(values[slot])
-						locks.lock(row)
-						emit(row, val, topLevel[node])
-						locks.unlock(row)
-					}
-				}
-			}
+	// Free list of per-worker states; at most `workers` are ever live.
+	var stateMu sync.Mutex
+	var free, all []*latticeState
+
+	linalg.ParallelChunks(nnz, workers, latticeChunk, func(lo, hi int) {
+		if failed.Load() {
+			return
+		}
+		stateMu.Lock()
+		var st *latticeState
+		if n := len(free); n > 0 {
+			st = free[n-1]
+			free = free[:n-1]
+			stateMu.Unlock()
+		} else {
+			stateMu.Unlock()
+			st = newLatticeState(x, u, opts, compact)
+			stateMu.Lock()
+			all = append(all, st)
+			stateMu.Unlock()
+		}
+		defer func() {
+			stateMu.Lock()
+			free = append(free, st)
+			stateMu.Unlock()
 		}()
+		for k := lo; k < hi; k++ {
+			plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				failed.Store(true)
+				return
+			}
+			topLevel := bufs.levels[len(plan.Levels)-1]
+			val := x.Values[k]
+			for slot, node := range plan.Tops {
+				row := int(values[slot])
+				locks.lock(row)
+				dense.AxpyCompact(val, topLevel[node], y.Row(row))
+				locks.unlock(row)
+			}
+		}
+	})
+	for _, st := range all {
+		st.finish(opts)
 	}
-	wg.Wait()
 	return firstErr
 }
 
@@ -344,10 +473,7 @@ func S3TTMcSymProp(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Mat
 	defer opts.Guard.Release(wsBytes)
 
 	y := linalg.NewMatrix(x.Dim, int(cols))
-	err := runLattice(x, u, opts, true, func(row int, scale float64, top []float64) {
-		dense.AxpyCompact(scale, top, y.Row(row))
-	})
-	if err != nil {
+	if err := runLattice(x, u, opts, true, y); err != nil {
 		return nil, err
 	}
 	return y, nil
@@ -400,10 +526,7 @@ func S3TTMcCSS(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix,
 	defer opts.Guard.Release(wsBytes)
 
 	y := linalg.NewMatrix(x.Dim, int(cols))
-	err := runLattice(x, u, opts, false, func(row int, scale float64, top []float64) {
-		dense.AxpyCompact(scale, top, y.Row(row))
-	})
-	if err != nil {
+	if err := runLattice(x, u, opts, false, y); err != nil {
 		return nil, err
 	}
 	return y, nil

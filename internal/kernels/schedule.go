@@ -1,0 +1,389 @@
+package kernels
+
+// This file implements the owner-computes accumulation scheduler shared by
+// every scatter kernel in the package (S³TTMc SymProp/CSS, UCOO, the n-ary
+// TTMcTC). The parallelization problem is always the same: workers stream
+// IOU non-zeros, and each non-zero emits an update into up to N output rows
+// (one per distinct index value). The historical striped-lock strategy
+// serializes every one of those updates through a mutex; the owner-computes
+// strategy here removes the synchronization entirely, following the
+// distributed-Tucker decomposition of Chakaravarthy et al. (non-zeros are
+// assigned to the process that owns their output row) combined with the
+// classic shared-memory privatize-and-reduce fallback:
+//
+//  1. Output rows are partitioned into one contiguous range per worker,
+//     balanced by the number of non-zeros whose *leading* (smallest) index
+//     falls in the range.
+//  2. Non-zeros are binned to the worker owning their leading row, so each
+//     worker's slot-0 emission — and, because IOU tuples are sorted and
+//     tensors cluster, many of the others — lands in rows it owns and is
+//     written lock-free directly into Y.
+//  3. Emissions into rows owned by *another* worker go into a private
+//     per-worker spill buffer; a deterministic reduction pass (rows split
+//     across workers, spill buffers added in worker order) folds the spills
+//     into Y afterwards.
+//
+// The schedule depends only on (tensor, worker count), so ScheduleCache
+// memoizes it next to the lattice plan cache and the workspace pool:
+// a Tucker run builds it once and reuses it every sweep.
+
+import (
+	"sync"
+
+	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// Scheduling selects how parallel workers accumulate into the shared
+// output (DESIGN.md §6).
+type Scheduling int
+
+const (
+	// SchedAuto (default) uses owner-computes scheduling when the private
+	// spill buffers fit the memory budget and falls back to striped locks
+	// otherwise. Without a memory guard it always picks owner-computes.
+	SchedAuto Scheduling = iota
+	// SchedOwnerComputes forces contention-free owner-computes scheduling;
+	// the kernel fails with memguard.ErrOutOfMemory when the spill buffers
+	// do not fit the budget.
+	SchedOwnerComputes
+	// SchedStripedLocks forces the historical striped-lock accumulation —
+	// kept as the ablation baseline for the scheduling experiments.
+	SchedStripedLocks
+)
+
+// String returns the ablation label of the mode.
+func (s Scheduling) String() string {
+	switch s {
+	case SchedOwnerComputes:
+		return "owner-computes"
+	case SchedStripedLocks:
+		return "striped-locks"
+	default:
+		return "auto"
+	}
+}
+
+// schedule is the owner-computes work assignment for one (tensor, workers)
+// pair: a contiguous row partition plus the non-zeros binned by the owner
+// of their leading row. Bins preserve ascending non-zero order (the binning
+// pass is a stable counting sort), which keeps per-row accumulation order
+// deterministic and the row-access pattern as sorted as the input.
+type schedule struct {
+	workers  int
+	dim      int
+	rowStart []int32 // len workers+1; worker w owns rows [rowStart[w], rowStart[w+1])
+	nzStart  []int32 // len workers+1; worker w's bin is nzOrder[nzStart[w]:nzStart[w+1]]
+	nzOrder  []int32 // permutation of [0, nnz), grouped by owner, ascending within
+}
+
+// ownedRows returns worker w's half-open row range.
+func (s *schedule) ownedRows(w int) (int, int) {
+	return int(s.rowStart[w]), int(s.rowStart[w+1])
+}
+
+// bin returns worker w's non-zero indices.
+func (s *schedule) bin(w int) []int32 {
+	return s.nzOrder[s.nzStart[w]:s.nzStart[w+1]]
+}
+
+// chunkRange returns worker w's half-open share of [0, n) under the even
+// split (first n%workers chunks get one extra element). Chunk boundaries
+// depend only on (n, workers, w), which is what lets callers fold
+// per-chunk partials in worker order for bitwise-reproducible reductions.
+func chunkRange(n, workers, w int) (int, int) {
+	base, rem := n/workers, n%workers
+	lo := w*base + min(w, rem)
+	hi := lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// buildSchedule partitions rows and bins non-zeros for the given worker
+// count. workers is clamped to [1, dim]: a worker owning no rows could own
+// no non-zeros either.
+func buildSchedule(x *spsym.Tensor, workers int) *schedule {
+	nnz := x.NNZ()
+	if workers > x.Dim {
+		workers = x.Dim
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &schedule{
+		workers:  workers,
+		dim:      x.Dim,
+		rowStart: make([]int32, workers+1),
+		nzStart:  make([]int32, workers+1),
+		nzOrder:  make([]int32, nnz),
+	}
+
+	// Per-row counts of leading indices (tuples are sorted, so the leading
+	// index is entry 0) and their prefix sum.
+	counts := make([]int32, x.Dim)
+	for k := 0; k < nnz; k++ {
+		counts[x.Index[k*x.Order]]++
+	}
+
+	// Partition rows so cumulative leading-row counts are balanced: the
+	// w-th boundary is the first row where the prefix reaches w/workers of
+	// the total. A single row's non-zeros cannot be split across owners,
+	// so heavy rows bound the achievable balance.
+	s.rowStart[workers] = int32(x.Dim)
+	var prefix int64
+	w := 1
+	for r := 0; r < x.Dim && w < workers; r++ {
+		prefix += int64(counts[r])
+		for w < workers && prefix >= int64(w)*int64(nnz)/int64(workers) {
+			s.rowStart[w] = int32(r + 1)
+			w++
+		}
+	}
+	for ; w < workers; w++ {
+		s.rowStart[w] = int32(x.Dim)
+	}
+
+	// rowOwner is the scratch inverse of the partition, used once for the
+	// stable counting sort below.
+	rowOwner := make([]int32, x.Dim)
+	for w := 0; w < workers; w++ {
+		for r := s.rowStart[w]; r < s.rowStart[w+1]; r++ {
+			rowOwner[r] = int32(w)
+		}
+	}
+	binLen := make([]int32, workers)
+	for k := 0; k < nnz; k++ {
+		binLen[rowOwner[x.Index[k*x.Order]]]++
+	}
+	for w := 0; w < workers; w++ {
+		s.nzStart[w+1] = s.nzStart[w] + binLen[w]
+	}
+	next := append([]int32(nil), s.nzStart[:workers]...)
+	for k := 0; k < nnz; k++ {
+		o := rowOwner[x.Index[k*x.Order]]
+		s.nzOrder[next[o]] = int32(k)
+		next[o]++
+	}
+	return s
+}
+
+// ScheduleCache memoizes owner-computes schedules across kernel calls,
+// keyed by (tensor, worker count) — the scheduling analog of css.Cache for
+// lattice plans. The Tucker drivers create one per run so every sweep
+// reuses the binning pass. Entries assume the tensor is not mutated while
+// cached (the same contract under which the kernels share it across
+// goroutines); a changed non-zero count or dimension is detected and the
+// entry rebuilt, in-place edits are not.
+type ScheduleCache struct {
+	mu      sync.Mutex
+	entries map[scheduleKey]*schedule
+	// spillFree recycles zeroed spill buffers across kernel calls, so a
+	// Tucker sweep allocates them once instead of once per mode product.
+	spillFree []*spillBuffer
+}
+
+type scheduleKey struct {
+	tensor  *spsym.Tensor
+	workers int
+}
+
+// get returns the memoized schedule for (x, workers), building it on first
+// use. A nil cache builds a fresh schedule per call.
+func (c *ScheduleCache) get(x *spsym.Tensor, workers int) *schedule {
+	if c == nil {
+		return buildSchedule(x, workers)
+	}
+	key := scheduleKey{tensor: x, workers: workers}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.entries[key]; ok && len(s.nzOrder) == x.NNZ() && s.dim == x.Dim {
+		return s
+	}
+	s := buildSchedule(x, workers)
+	if c.entries == nil {
+		c.entries = make(map[scheduleKey]*schedule)
+	}
+	c.entries[key] = s
+	return s
+}
+
+// Len reports the number of memoized schedules (for tests).
+func (c *ScheduleCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// getSpill returns a zeroed spill buffer of the requested shape, reusing a
+// pooled one when available. A nil cache always allocates.
+func (c *ScheduleCache) getSpill(rows, cols int) *spillBuffer {
+	if c != nil {
+		c.mu.Lock()
+		for i, b := range c.spillFree {
+			if b.cols == cols && len(b.data) == rows*cols {
+				last := len(c.spillFree) - 1
+				c.spillFree[i] = c.spillFree[last]
+				c.spillFree = c.spillFree[:last]
+				c.mu.Unlock()
+				return b
+			}
+		}
+		c.mu.Unlock()
+	}
+	return newSpillBuffer(rows, cols)
+}
+
+// putSpill returns zeroed buffers to the pool, keeping at most a bounded
+// number so transient worker counts do not pin memory forever.
+func (c *ScheduleCache) putSpill(bufs []*spillBuffer) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for _, b := range bufs {
+		if b != nil && len(c.spillFree) < 64 {
+			c.spillFree = append(c.spillFree, b)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// spillBuffer is one worker's private accumulator for emissions into rows
+// it does not own. The touched bitmap lets the reduction skip the (typically
+// many) rows a worker never spilled into without scanning their values.
+type spillBuffer struct {
+	cols    int
+	data    []float64
+	touched []uint64
+}
+
+func newSpillBuffer(rows, cols int) *spillBuffer {
+	return &spillBuffer{
+		cols:    cols,
+		data:    make([]float64, rows*cols),
+		touched: make([]uint64, (rows+63)/64),
+	}
+}
+
+func (s *spillBuffer) row(i int) []float64 {
+	return s.data[i*s.cols : (i+1)*s.cols]
+}
+
+func (s *spillBuffer) has(i int) bool {
+	return s.touched[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// add accumulates scale*src into spill row i.
+func (s *spillBuffer) add(i int, scale float64, src []float64) {
+	s.touched[i>>6] |= 1 << uint(i&63)
+	dense.AxpyCompact(scale, src, s.row(i))
+}
+
+// spillSet is the per-worker spill buffers of one owner-computes run plus
+// the deterministic reduction folding them into the output.
+type spillSet struct {
+	bufs []*spillBuffer
+}
+
+// newSpillSet draws one buffer per worker, recycled through c when non-nil.
+// Pooled buffers are zero by the reduceInto invariant, so they are ready to
+// accumulate immediately.
+func newSpillSet(c *ScheduleCache, workers, rows, cols int) *spillSet {
+	if workers <= 1 {
+		return nil // a single owner never emits into a foreign row
+	}
+	set := &spillSet{bufs: make([]*spillBuffer, workers)}
+	for w := range set.bufs {
+		set.bufs[w] = c.getSpill(rows, cols)
+	}
+	return set
+}
+
+func (s *spillSet) buffer(w int) *spillBuffer {
+	if s == nil {
+		return nil
+	}
+	return s.bufs[w]
+}
+
+// reduceInto folds every spill buffer into y and retires the set. Rows are
+// split across the same worker count as the compute phase, and each row adds
+// its spill contributions in worker order, so results are deterministic for
+// a fixed (tensor, workers) configuration. Each spill row is re-zeroed as it
+// is folded and the buffers handed back to c's pool, restoring the all-zero
+// invariant newSpillSet relies on.
+func (s *spillSet) reduceInto(y *linalg.Matrix, workers int, c *ScheduleCache) {
+	if s == nil {
+		return
+	}
+	linalg.ParallelForWorkers(y.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst := y.Row(i)
+			for _, sp := range s.bufs {
+				if sp.has(i) {
+					src := sp.row(i)
+					dense.AxpyCompact(1, src, dst)
+					for j := range src {
+						src[j] = 0
+					}
+				}
+			}
+		}
+	})
+	for _, sp := range s.bufs {
+		for i := range sp.touched {
+			sp.touched[i] = 0
+		}
+	}
+	c.putSpill(s.bufs)
+}
+
+// spillBytes is the guard charge of an owner-computes run: one rows x cols
+// buffer (plus bitmap) per worker. A single worker spills nothing.
+func spillBytes(rows, cols int64, workers int) int64 {
+	if workers <= 1 {
+		return 0
+	}
+	if rows > 0 && cols > (1<<62)/rows {
+		return 1 << 62
+	}
+	per := memguard.Float64Bytes(rows*cols) + 8*((rows+63)/64)
+	total := per * int64(workers)
+	if per > 0 && total/per != int64(workers) {
+		return 1 << 62
+	}
+	return total
+}
+
+// resolveScheduling picks the accumulation strategy for a kernel writing a
+// rows x cols output with the given worker count, charging the spill
+// buffers to the memory guard when owner-computes is chosen. The returned
+// release function must run when the kernel finishes; it is a no-op for
+// the striped path. Under SchedAuto a budget too small for the spill
+// buffers falls back to striped locks instead of failing, so the
+// guard-modeled footprint of every kernel is unchanged from the
+// striped-lock era.
+func resolveScheduling(opts Options, rows, cols, workers int) (Scheduling, func(), error) {
+	noop := func() {}
+	if opts.Scheduling == SchedStripedLocks {
+		return SchedStripedLocks, noop, nil
+	}
+	if workers > rows {
+		workers = rows
+	}
+	bytes := spillBytes(int64(rows), int64(cols), workers)
+	if err := opts.Guard.Reserve(bytes, "owner-computes spill buffers"); err != nil {
+		if opts.Scheduling == SchedAuto {
+			return SchedStripedLocks, noop, nil
+		}
+		return SchedOwnerComputes, noop, err
+	}
+	return SchedOwnerComputes, func() { opts.Guard.Release(bytes) }, nil
+}

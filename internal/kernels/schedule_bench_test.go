@@ -1,0 +1,83 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// benchTensor builds the fixed scatter workload of the scheduling ablation:
+// a moderate order-3 tensor at low rank, so the per-non-zero lattice work is
+// small and accumulation overhead (lock traffic vs. spill reduction) is
+// visible. Profiling shows the striped baseline spends roughly a quarter of
+// its time in rowLocks lock/unlock on this workload even uncontended.
+func benchTensor(b *testing.B) (*spsym.Tensor, *linalg.Matrix) {
+	b.Helper()
+	x, err := spsym.Random(spsym.RandomOptions{
+		Order: 3, Dim: 1024, NNZ: 50000, Seed: 7, Values: spsym.ValueNormal,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := linalg.RandomNormal(1024, 4, rand.New(rand.NewSource(8)))
+	return x, u
+}
+
+// BenchmarkS3TTMcScheduling is the owner-computes vs striped-locks ablation
+// behind EXPERIMENTS.md §scheduling: same kernel, same tensor, only the
+// accumulation strategy and worker count vary. Compare with
+//
+//	benchstat <(grep striped-locks bench.txt) <(grep owner-computes bench.txt)
+func BenchmarkS3TTMcScheduling(b *testing.B) {
+	x, u := benchTensor(b)
+	for _, sched := range []Scheduling{SchedOwnerComputes, SchedStripedLocks} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("sched=%v/workers=%d", sched, workers), func(b *testing.B) {
+				var scheds ScheduleCache
+				opts := Options{Workers: workers, Scheduling: sched, Schedules: &scheds}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := S3TTMcSymProp(x, u, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkUCOOScheduling repeats the ablation on the UCOO baseline, whose
+// scatter phase (full R^{N-1}-wide rows) stresses the spill buffers hardest.
+func BenchmarkUCOOScheduling(b *testing.B) {
+	x, u := benchTensor(b)
+	for _, sched := range []Scheduling{SchedOwnerComputes, SchedStripedLocks} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("sched=%v/workers=%d", sched, workers), func(b *testing.B) {
+				var scheds ScheduleCache
+				opts := Options{Workers: workers, Scheduling: sched, Schedules: &scheds}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := S3TTMcUCOO(x, u, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScheduleBuild prices the binning pass itself — the cost a cold
+// ScheduleCache adds to the first sweep of a Tucker run.
+func BenchmarkScheduleBuild(b *testing.B) {
+	x, _ := benchTensor(b)
+	for _, workers := range []int{4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buildSchedule(x, workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,304 @@
+package kernels
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// Property: a schedule is a valid owner-computes work assignment — the row
+// partition tiles [0, dim), every non-zero appears in exactly one bin, the
+// bin is the one owning the non-zero's leading row, and bins preserve
+// ascending non-zero order.
+func TestBuildScheduleProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 2 + rng.Intn(4)
+		dim := 2 + rng.Intn(12)
+		nnz := rng.Intn(40)
+		workers := 1 + rng.Intn(10)
+		x, err := spsym.Random(spsym.RandomOptions{Order: order, Dim: dim, NNZ: nnz, Seed: seed, Values: spsym.ValueNormal})
+		if err != nil {
+			return false
+		}
+		s := buildSchedule(x, workers)
+		if s.workers < 1 || s.workers > workers || s.workers > dim {
+			return false
+		}
+		if s.rowStart[0] != 0 || int(s.rowStart[s.workers]) != dim {
+			return false
+		}
+		for w := 0; w < s.workers; w++ {
+			if s.rowStart[w] > s.rowStart[w+1] {
+				return false
+			}
+		}
+		seen := make([]int, x.NNZ())
+		for w := 0; w < s.workers; w++ {
+			rowLo, rowHi := s.ownedRows(w)
+			prev := int32(-1)
+			for _, k := range s.bin(w) {
+				if k <= prev { // ascending ⇒ also no duplicates within a bin
+					return false
+				}
+				prev = k
+				seen[k]++
+				lead := int(x.Index[int(k)*x.Order])
+				if lead < rowLo || lead >= rowHi {
+					return false
+				}
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleCacheMemoizes(t *testing.T) {
+	x, _ := randomCase(t, 3, 8, 20, 2, 17)
+	var cache ScheduleCache
+	s1 := cache.get(x, 4)
+	s2 := cache.get(x, 4)
+	if s1 != s2 {
+		t.Error("same (tensor, workers) key rebuilt the schedule")
+	}
+	s3 := cache.get(x, 2)
+	if s3 == s1 {
+		t.Error("different worker count returned the same schedule")
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", cache.Len())
+	}
+	// A structurally changed tensor (different non-zero count) under the
+	// same key must be detected and the entry rebuilt.
+	x.Append([]int{0, 1, 2}, 1.0)
+	x.Canonicalize()
+	s4 := cache.get(x, 4)
+	if s4 == s1 {
+		t.Error("stale schedule returned after the tensor grew")
+	}
+	if len(s4.nzOrder) != x.NNZ() {
+		t.Errorf("rebuilt schedule has %d non-zeros, want %d", len(s4.nzOrder), x.NNZ())
+	}
+	// A nil cache still produces valid schedules.
+	var nilCache *ScheduleCache
+	if s := nilCache.get(x, 3); len(s.nzOrder) != x.NNZ() {
+		t.Error("nil cache returned an invalid schedule")
+	}
+	if nilCache.Len() != 0 {
+		t.Error("nil cache reports non-zero length")
+	}
+}
+
+func TestSchedulingString(t *testing.T) {
+	for mode, want := range map[Scheduling]string{
+		SchedAuto:          "auto",
+		SchedOwnerComputes: "owner-computes",
+		SchedStripedLocks:  "striped-locks",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("Scheduling(%d).String() = %q, want %q", mode, got, want)
+		}
+	}
+}
+
+func TestResolveScheduling(t *testing.T) {
+	// No guard: owner-computes by default.
+	mode, release, err := resolveScheduling(Options{}, 100, 10, 4)
+	if err != nil || mode != SchedOwnerComputes {
+		t.Fatalf("default resolve = (%v, %v), want owner-computes", mode, err)
+	}
+	release()
+
+	// Forced striped short-circuits without touching the guard.
+	tiny := memguard.New(1)
+	mode, release, err = resolveScheduling(Options{Scheduling: SchedStripedLocks, Guard: tiny}, 100, 10, 4)
+	if err != nil || mode != SchedStripedLocks {
+		t.Fatalf("forced striped = (%v, %v)", mode, err)
+	}
+	release()
+
+	// Auto with a budget too small for the spill buffers falls back.
+	mode, release, err = resolveScheduling(Options{Guard: memguard.New(1 << 10)}, 1000, 100, 4)
+	if err != nil || mode != SchedStripedLocks {
+		t.Fatalf("auto under pressure = (%v, %v), want striped fallback", mode, err)
+	}
+	release()
+
+	// Forced owner-computes under the same pressure is an error.
+	_, _, err = resolveScheduling(Options{Scheduling: SchedOwnerComputes, Guard: memguard.New(1 << 10)}, 1000, 100, 4)
+	if !errors.Is(err, memguard.ErrOutOfMemory) {
+		t.Fatalf("forced owner under pressure err = %v, want ErrOutOfMemory", err)
+	}
+
+	// The guard charge is released by the returned closure.
+	g := memguard.New(1 << 30)
+	_, release, err = resolveScheduling(Options{Guard: g}, 1000, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Used() == 0 {
+		t.Error("owner-computes resolve did not charge the guard")
+	}
+	release()
+	if g.Used() != 0 {
+		t.Error("release did not return the spill charge")
+	}
+}
+
+func TestSpillBytes(t *testing.T) {
+	if b := spillBytes(100, 10, 1); b != 0 {
+		t.Errorf("single worker spill bytes = %d, want 0", b)
+	}
+	per := memguard.Float64Bytes(100*10) + 8*((100+63)/64)
+	if b := spillBytes(100, 10, 3); b != 3*per {
+		t.Errorf("spill bytes = %d, want %d", b, 3*per)
+	}
+	if b := spillBytes(1<<40, 1<<40, 64); b != 1<<62 {
+		t.Errorf("overflowing spill bytes = %d, want saturation", b)
+	}
+}
+
+func TestSpillSetReduce(t *testing.T) {
+	if s := newSpillSet(nil, 1, 10, 3); s != nil {
+		t.Fatal("single-worker spill set should be nil")
+	}
+	var nilSet *spillSet
+	if nilSet.buffer(0) != nil {
+		t.Fatal("nil spill set returned a buffer")
+	}
+	y := linalg.NewMatrix(5, 2)
+	nilSet.reduceInto(y, 2, nil) // must be a no-op
+	var cache ScheduleCache
+	s := newSpillSet(&cache, 3, 5, 2)
+	s.buffer(0).add(1, 2, []float64{1, 1})
+	s.buffer(2).add(1, 1, []float64{0.5, 0})
+	s.buffer(1).add(4, -1, []float64{1, 2})
+	s.reduceInto(y, 3, &cache)
+	want := [][]float64{{0, 0}, {2.5, 2}, {0, 0}, {0, 0}, {-1, -2}}
+	for i, row := range want {
+		for j, v := range row {
+			if y.At(i, j) != v {
+				t.Fatalf("y[%d,%d] = %v, want %v", i, j, y.At(i, j), v)
+			}
+		}
+	}
+	// Reduction retires the buffers into the cache pool fully zeroed, so
+	// the next set reuses them without reallocating.
+	reused := newSpillSet(&cache, 3, 5, 2)
+	for w := 0; w < 3; w++ {
+		buf := reused.buffer(w)
+		for _, v := range buf.data {
+			if v != 0 {
+				t.Fatal("pooled spill buffer not zeroed")
+			}
+		}
+		for _, word := range buf.touched {
+			if word != 0 {
+				t.Fatal("pooled spill buffer bitmap not cleared")
+			}
+		}
+	}
+	if cache.getSpill(7, 3).cols != 3 {
+		t.Fatal("mismatched shape must allocate a fresh buffer")
+	}
+}
+
+// All four scatter kernels must produce tolerance-identical results across
+// every scheduling mode and worker count, and owner-computes must be
+// bitwise-deterministic run to run.
+func TestSchedulingModesAgree(t *testing.T) {
+	x, u := randomCase(t, 4, 9, 45, 3, 2026)
+	modes := []Scheduling{SchedAuto, SchedOwnerComputes, SchedStripedLocks}
+
+	type kernel struct {
+		name string
+		run  func(Options) (*linalg.Matrix, error)
+	}
+	kernelsUnderTest := []kernel{
+		{"SymProp", func(o Options) (*linalg.Matrix, error) { return S3TTMcSymProp(x, u, o) }},
+		{"CSS", func(o Options) (*linalg.Matrix, error) { return S3TTMcCSS(x, u, o) }},
+		{"UCOO", func(o Options) (*linalg.Matrix, error) { return S3TTMcUCOO(x, u, o) }},
+		{"Nary", func(o Options) (*linalg.Matrix, error) {
+			res, err := NaryTTMcTC(x, u, o)
+			if err != nil {
+				return nil, err
+			}
+			return res.A, nil
+		}},
+	}
+
+	for _, k := range kernelsUnderTest {
+		base, err := k.run(Options{Workers: 1, Scheduling: SchedStripedLocks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range modes {
+			for _, workers := range []int{1, 2, 4} {
+				got, err := k.run(Options{Workers: workers, Scheduling: mode})
+				if err != nil {
+					t.Fatalf("%s %v workers=%d: %v", k.name, mode, workers, err)
+				}
+				if d := linalg.MaxAbsDiff(base, got); d > 1e-10 {
+					t.Errorf("%s %v workers=%d differs from sequential striped by %v", k.name, mode, workers, d)
+				}
+			}
+		}
+		// Owner-computes determinism: two runs at the same worker count
+		// must agree bitwise (fixed partition, fixed reduction order).
+		r1, err := k.run(Options{Workers: 4, Scheduling: SchedOwnerComputes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := k.run(Options{Workers: 4, Scheduling: SchedOwnerComputes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range r1.Data {
+			if r2.Data[i] != v {
+				t.Fatalf("%s: owner-computes not bitwise deterministic at %d", k.name, i)
+			}
+		}
+	}
+}
+
+// The schedule cache must be consulted by the kernels: a shared cache across
+// repeated calls holds exactly one entry per worker count used.
+func TestKernelsUseScheduleCache(t *testing.T) {
+	x, u := randomCase(t, 3, 8, 25, 2, 31)
+	var scheds ScheduleCache
+	opts := Options{Workers: 4, Scheduling: SchedOwnerComputes, Schedules: &scheds}
+	for i := 0; i < 3; i++ {
+		if _, err := S3TTMcSymProp(x, u, opts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := S3TTMcUCOO(x, u, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All calls share (tensor, workers=4) — possibly clamped identically —
+	// so at most a couple of entries may exist, and re-running must not
+	// grow the cache.
+	n := scheds.Len()
+	if n == 0 {
+		t.Fatal("kernels did not populate the schedule cache")
+	}
+	if _, err := S3TTMcSymProp(x, u, opts); err != nil {
+		t.Fatal(err)
+	}
+	if scheds.Len() != n {
+		t.Errorf("cache grew from %d to %d on a repeated call", n, scheds.Len())
+	}
+}

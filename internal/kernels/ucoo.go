@@ -34,9 +34,66 @@ func S3TTMcUCOO(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix
 	defer opts.Guard.Release(wsBytes)
 
 	y := linalg.NewMatrix(x.Dim, int(cols))
+	nnz := x.NNZ()
+	if nnz == 0 {
+		return y, nil
+	}
+	workers := opts.workers()
+	if workers > nnz {
+		workers = nnz
+	}
+	mode, release, err := resolveScheduling(opts, y.Rows, y.Cols, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if mode == SchedOwnerComputes {
+		ucooOwner(x, u, opts, workers, y)
+	} else {
+		ucooStriped(x, u, workers, y)
+	}
+	return y, nil
+}
+
+// ucooOwner is the owner-computes UCOO scatter: every expanded permutation
+// of a non-zero emits into the row of its first index, which ranges over
+// the tuple's distinct values — the same emission pattern as the lattice
+// kernels, so the same schedule (bin by leading row, spill the rest)
+// applies.
+func ucooOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y *linalg.Matrix) {
+	sched := opts.Schedules.get(x, workers)
+	workers = sched.workers
+	spills := newSpillSet(opts.Schedules, workers, y.Rows, y.Cols)
+	linalg.ParallelForWorkers(workers, workers, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			kron := make([]float64, y.Cols)
+			rowLo, rowHi := sched.ownedRows(w)
+			spill := spills.buffer(w)
+			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			for _, k32 := range sched.bin(w) {
+				k := int(k32)
+				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
+				sub.Values = x.Values[k : k+1]
+				sub.ForEachExpanded(func(idx []int32, val float64) {
+					kronRows(u, idx[1:], kron)
+					row := int(idx[0])
+					if row >= rowLo && row < rowHi {
+						dense.AxpyCompact(val, kron, y.Row(row))
+					} else {
+						spill.add(row, val, kron)
+					}
+				})
+			}
+		}
+	})
+	spills.reduceInto(y, workers, opts.Schedules)
+}
+
+// ucooStriped is the striped-lock ablation baseline.
+func ucooStriped(x *spsym.Tensor, u *linalg.Matrix, workers int, y *linalg.Matrix) {
 	var locks rowLocks
-	linalg.ParallelForWorkers(x.NNZ(), opts.workers(), func(lo, hi int) {
-		kron := make([]float64, cols)
+	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
+		kron := make([]float64, y.Cols)
 		sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
 			Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
 		sub.ForEachExpanded(func(idx []int32, val float64) {
@@ -47,7 +104,6 @@ func S3TTMcUCOO(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix
 			locks.unlock(row)
 		})
 	})
-	return y, nil
 }
 
 // EstimateUCOOBytes returns the UCOO kernel footprint: full Y(1) plus

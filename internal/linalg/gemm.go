@@ -1,25 +1,37 @@
 package linalg
 
 // This file implements the GEMM variants the Tucker drivers use. All of
-// them parallelize over output rows via ParallelFor and keep the innermost
-// loop running over contiguous memory (row-major everywhere), which is the
-// standard cache-friendly ikj ordering.
+// them parallelize over output rows via ParallelFor — the single threading
+// knob — and are built on the register-blocked micro-kernels in
+// microkernel.go: Mul and MulTN stream K in gemmKC panels through axpy4
+// (four source rows folded into one destination pass), while the dot-shaped
+// variants (MulNT, MulNTWeighted, GramWeighted) walk 4x4 output tiles with
+// sixteen register accumulators. Row-major layout keeps every inner loop on
+// contiguous memory; tails smaller than a tile fall back to the scalar
+// helpers, which preserve the naive loops' semantics exactly.
 
 // Mul returns C = A·B.
 func Mul(a, b *Matrix) *Matrix {
 	mustShape(a.Cols == b.Rows, "linalg: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	c := NewMatrix(a.Rows, b.Cols)
 	ParallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
+		// K panels outermost so the panel of B rows is reused across every
+		// output row this worker owns.
+		for k0 := 0; k0 < a.Cols; k0 += gemmKC {
+			k1 := min(k0+gemmKC, a.Cols)
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				crow := c.Row(i)
+				k := k0
+				for ; k+3 < k1; k += 4 {
+					av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+						continue
+					}
+					axpy4(crow, av0, av1, av2, av3, b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3))
 				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					crow[j] += av * bv
+				for ; k < k1; k++ {
+					axpy1(crow, arow[k], b.Row(k))
 				}
 			}
 		}
@@ -27,27 +39,34 @@ func Mul(a, b *Matrix) *Matrix {
 	return c
 }
 
-// MulTN returns C = Aᵀ·B (C is a.Cols x b.Cols). Rows of A and B are read
-// contiguously; the accumulation parallelizes over blocks of A's columns by
-// splitting the K dimension across workers with private accumulators would
-// race, so it instead parallelizes over output rows with a strided pass.
+// MulTN returns C = Aᵀ·B (C is a.Cols x b.Cols). Splitting the shared K
+// dimension across workers with private accumulators would race (or force a
+// reduction), so it instead parallelizes over output rows: each worker owns
+// a contiguous band of C's rows (columns of A) and streams through the rows
+// of A and B once per K panel.
 func MulTN(a, b *Matrix) *Matrix {
 	mustShape(a.Rows == b.Rows, "linalg: MulTN shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	c := NewMatrix(a.Cols, b.Cols)
-	// Each worker owns a contiguous band of C's rows (columns of A) and
-	// streams through all rows of A and B once.
 	ParallelFor(c.Rows, func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
+		for k0 := 0; k0 < a.Rows; k0 += gemmKC {
+			k1 := min(k0+gemmKC, a.Rows)
+			k := k0
+			for ; k+3 < k1; k += 4 {
+				ar0, ar1, ar2, ar3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+				br0, br1, br2, br3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+				for i := lo; i < hi; i++ {
+					av0, av1, av2, av3 := ar0[i], ar1[i], ar2[i], ar3[i]
+					if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+						continue
+					}
+					axpy4(c.Row(i), av0, av1, av2, av3, br0, br1, br2, br3)
 				}
-				crow := c.Row(i)
-				for j, bv := range brow {
-					crow[j] += av * bv
+			}
+			for ; k < k1; k++ {
+				arow := a.Row(k)
+				brow := b.Row(k)
+				for i := lo; i < hi; i++ {
+					axpy1(c.Row(i), arow[i], brow)
 				}
 			}
 		}
@@ -56,21 +75,38 @@ func MulTN(a, b *Matrix) *Matrix {
 }
 
 // MulNT returns C = A·Bᵀ (C is a.Rows x b.Rows). Both operands stream
-// row-contiguously; each output element is a dot product of two rows.
+// row-contiguously; output is computed in 4x4 tiles of row-dot products so
+// each loaded row element serves four dots.
 func MulNT(a, b *Matrix) *Matrix {
 	mustShape(a.Cols == b.Cols, "linalg: MulNT shape mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
 	c := NewMatrix(a.Rows, b.Rows)
 	ParallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+		i := lo
+		for ; i+3 < hi; i += 4 {
+			ar0, ar1, ar2, ar3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+			cr0, cr1, cr2, cr3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+			j := 0
+			for ; j+3 < b.Rows; j += 4 {
+				var acc [16]float64
+				dot4x4(ar0, ar1, ar2, ar3, b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3), &acc)
+				cr0[j], cr0[j+1], cr0[j+2], cr0[j+3] = acc[0], acc[1], acc[2], acc[3]
+				cr1[j], cr1[j+1], cr1[j+2], cr1[j+3] = acc[4], acc[5], acc[6], acc[7]
+				cr2[j], cr2[j+1], cr2[j+2], cr2[j+3] = acc[8], acc[9], acc[10], acc[11]
+				cr3[j], cr3[j+1], cr3[j+2], cr3[j+3] = acc[12], acc[13], acc[14], acc[15]
+			}
+			for ; j < b.Rows; j++ {
+				brow := b.Row(j)
+				cr0[j] = dot(ar0, brow)
+				cr1[j] = dot(ar1, brow)
+				cr2[j] = dot(ar2, brow)
+				cr3[j] = dot(ar3, brow)
+			}
+		}
+		for ; i < hi; i++ {
 			arow := a.Row(i)
 			crow := c.Row(i)
 			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				crow[j] = s
+				crow[j] = dot(arow, b.Row(j))
 			}
 		}
 	})
@@ -85,16 +121,32 @@ func MulNTWeighted(a, b *Matrix, w []float64) *Matrix {
 		"linalg: MulNTWeighted shape mismatch %dx%d, %dx%d, |w|=%d", a.Rows, a.Cols, b.Rows, b.Cols, len(w))
 	c := NewMatrix(a.Rows, b.Rows)
 	ParallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+		i := lo
+		for ; i+3 < hi; i += 4 {
+			ar0, ar1, ar2, ar3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+			cr0, cr1, cr2, cr3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+			j := 0
+			for ; j+3 < b.Rows; j += 4 {
+				var acc [16]float64
+				dotW4x4(ar0, ar1, ar2, ar3, w, b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3), &acc)
+				cr0[j], cr0[j+1], cr0[j+2], cr0[j+3] = acc[0], acc[1], acc[2], acc[3]
+				cr1[j], cr1[j+1], cr1[j+2], cr1[j+3] = acc[4], acc[5], acc[6], acc[7]
+				cr2[j], cr2[j+1], cr2[j+2], cr2[j+3] = acc[8], acc[9], acc[10], acc[11]
+				cr3[j], cr3[j+1], cr3[j+2], cr3[j+3] = acc[12], acc[13], acc[14], acc[15]
+			}
+			for ; j < b.Rows; j++ {
+				brow := b.Row(j)
+				cr0[j] = dotW(ar0, w, brow)
+				cr1[j] = dotW(ar1, w, brow)
+				cr2[j] = dotW(ar2, w, brow)
+				cr3[j] = dotW(ar3, w, brow)
+			}
+		}
+		for ; i < hi; i++ {
 			arow := a.Row(i)
 			crow := c.Row(i)
 			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * w[k] * brow[k]
-				}
-				crow[j] = s
+				crow[j] = dotW(arow, w, b.Row(j))
 			}
 		}
 	})
@@ -102,21 +154,46 @@ func MulNTWeighted(a, b *Matrix, w []float64) *Matrix {
 }
 
 // GramWeighted returns G = A·diag(w)·Aᵀ exploiting symmetry: only the upper
-// triangle is computed and mirrored.
+// triangle is computed — the diagonal-crossing edge of each 4-row tile
+// scalar, the rest in 4x4 tiles — and mirrored.
 func GramWeighted(a *Matrix, w []float64) *Matrix {
 	mustShape(len(w) == a.Cols, "linalg: GramWeighted weight length mismatch")
 	g := NewMatrix(a.Rows, a.Rows)
 	ParallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+		i := lo
+		for ; i+3 < hi; i += 4 {
+			ar0, ar1, ar2, ar3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+			gr0, gr1, gr2, gr3 := g.Row(i), g.Row(i+1), g.Row(i+2), g.Row(i+3)
+			// The ragged j in [i, i+4) corner where the triangle boundary
+			// crosses the tile.
+			for ii, arow := range [][]float64{ar0, ar1, ar2, ar3} {
+				grow := g.Row(i + ii)
+				for j := i + ii; j < i+4; j++ {
+					grow[j] = dotW(arow, w, a.Row(j))
+				}
+			}
+			j := i + 4
+			for ; j+3 < a.Rows; j += 4 {
+				var acc [16]float64
+				dotW4x4(ar0, ar1, ar2, ar3, w, a.Row(j), a.Row(j+1), a.Row(j+2), a.Row(j+3), &acc)
+				gr0[j], gr0[j+1], gr0[j+2], gr0[j+3] = acc[0], acc[1], acc[2], acc[3]
+				gr1[j], gr1[j+1], gr1[j+2], gr1[j+3] = acc[4], acc[5], acc[6], acc[7]
+				gr2[j], gr2[j+1], gr2[j+2], gr2[j+3] = acc[8], acc[9], acc[10], acc[11]
+				gr3[j], gr3[j+1], gr3[j+2], gr3[j+3] = acc[12], acc[13], acc[14], acc[15]
+			}
+			for ; j < a.Rows; j++ {
+				brow := a.Row(j)
+				gr0[j] = dotW(ar0, w, brow)
+				gr1[j] = dotW(ar1, w, brow)
+				gr2[j] = dotW(ar2, w, brow)
+				gr3[j] = dotW(ar3, w, brow)
+			}
+		}
+		for ; i < hi; i++ {
 			arow := a.Row(i)
 			grow := g.Row(i)
 			for j := i; j < a.Rows; j++ {
-				brow := a.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * w[k] * brow[k]
-				}
-				grow[j] = s
+				grow[j] = dotW(arow, w, a.Row(j))
 			}
 		}
 	})

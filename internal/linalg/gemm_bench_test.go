@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The GEMM ablation behind EXPERIMENTS.md §gemm: every variant is measured
+// in its register-blocked form (impl=blocked, the live code in gemm.go) and
+// against the pre-blocking one-level loops (impl=naive, preserved in
+// gemm_test.go as the golden reference). Square operands; the 256 and 512
+// points are the acceptance sizes, 64 shows the small-operand regime the
+// Tucker drivers mostly live in.
+var gemmBenchSizes = []int{64, 256, 512}
+
+func benchPair(n int) (*Matrix, *Matrix, []float64) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	a := RandomNormal(n, n, rng)
+	b := RandomNormal(n, n, rng)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64() + 0.5
+	}
+	return a, b, w
+}
+
+func BenchmarkMul(b *testing.B) {
+	for _, n := range gemmBenchSizes {
+		a, bb, _ := benchPair(n)
+		b.Run(fmt.Sprintf("impl=blocked/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Mul(a, bb)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				naiveMulRows(a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMulTN(b *testing.B) {
+	for _, n := range gemmBenchSizes {
+		a, bb, _ := benchPair(n)
+		b.Run(fmt.Sprintf("impl=blocked/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MulTN(a, bb)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				naiveMulTN(a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMulNT(b *testing.B) {
+	for _, n := range gemmBenchSizes {
+		a, bb, _ := benchPair(n)
+		b.Run(fmt.Sprintf("impl=blocked/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MulNT(a, bb)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				naiveMulNT(a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkGramWeighted(b *testing.B) {
+	for _, n := range gemmBenchSizes {
+		a, _, w := benchPair(n)
+		b.Run(fmt.Sprintf("impl=blocked/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GramWeighted(a, w)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				naiveGramWeighted(a, w)
+			}
+		})
+	}
+}
+
+// naiveMulRows is the pre-blocking ikj loop of Mul (naiveMul in
+// matrix_test.go is the O(n³) At/Set triple loop, which would overstate the
+// blocked kernel's advantage).
+func naiveMulRows(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	ParallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}

@@ -1,0 +1,194 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Golden references: the pre-blocking one-level loops, kept verbatim so the
+// register-blocked kernels in gemm.go are pinned to the exact semantics they
+// replaced. naiveMul lives in matrix_test.go.
+
+func naiveMulTN(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := 0; i < c.Rows; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+func naiveMulNT(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+func naiveMulNTWeighted(a, b *Matrix, w []float64) *Matrix {
+	c := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * w[k] * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+func naiveGramWeighted(a *Matrix, w []float64) *Matrix {
+	g := NewMatrix(a.Rows, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		grow := g.Row(i)
+		for j := i; j < a.Rows; j++ {
+			brow := a.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * w[k] * brow[k]
+			}
+			grow[j] = s
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := i + 1; j < a.Rows; j++ {
+			g.Data[j*g.Cols+i] = g.Data[i*g.Cols+j]
+		}
+	}
+	return g
+}
+
+// gemmGoldenShapes exercises every tail the blocked kernels have: dimensions
+// below one 4-wide tile, exactly on tile boundaries, one past them, empty
+// operands, and a K larger than the gemmKC panel width.
+var gemmGoldenShapes = []struct{ m, k, n int }{
+	{0, 3, 3}, {3, 0, 3}, {3, 3, 0}, {0, 0, 0},
+	{1, 1, 1}, {2, 3, 2}, {3, 5, 7},
+	{4, 4, 4}, {5, 4, 3}, {4, 5, 4}, {4, 4, 5},
+	{8, 8, 8}, {9, 7, 6}, {13, 17, 11},
+	{6, gemmKC, 5}, {3, gemmKC + 3, 4}, {5, 2*gemmKC + 1, 6},
+}
+
+func TestBlockedGEMMGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range gemmGoldenShapes {
+		a := RandomNormal(sh.m, sh.k, rng)
+		b := RandomNormal(sh.k, sh.n, rng)
+		if d := MaxAbsDiff(Mul(a, b), naiveMul(a, b)); d > 1e-10 {
+			t.Errorf("Mul %dx%d·%dx%d differs from naive by %v", sh.m, sh.k, sh.k, sh.n, d)
+		}
+
+		at := RandomNormal(sh.k, sh.m, rng)
+		if d := MaxAbsDiff(MulTN(at, b), naiveMulTN(at, b)); d > 1e-10 {
+			t.Errorf("MulTN %dx%dᵀ·%dx%d differs from naive by %v", sh.k, sh.m, sh.k, sh.n, d)
+		}
+
+		bt := RandomNormal(sh.n, sh.k, rng)
+		if d := MaxAbsDiff(MulNT(a, bt), naiveMulNT(a, bt)); d > 1e-10 {
+			t.Errorf("MulNT %dx%d·%dx%dᵀ differs from naive by %v", sh.m, sh.k, sh.n, sh.k, d)
+		}
+
+		w := make([]float64, sh.k)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		if d := MaxAbsDiff(MulNTWeighted(a, bt, w), naiveMulNTWeighted(a, bt, w)); d > 1e-10 {
+			t.Errorf("MulNTWeighted %dx%d differs from naive by %v", sh.m, sh.n, d)
+		}
+		if d := MaxAbsDiff(GramWeighted(a, w), naiveGramWeighted(a, w)); d > 1e-10 {
+			t.Errorf("GramWeighted %dx%d differs from naive by %v", sh.m, sh.m, d)
+		}
+	}
+}
+
+func TestBlockedGEMMZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := RandomNormal(9, 13, rng)
+	b := RandomNormal(6, 13, rng)
+	w := make([]float64, 13)
+	c := MulNTWeighted(a, b, w)
+	for _, v := range c.Data {
+		if v != 0 {
+			t.Fatal("MulNTWeighted with all-zero weights must be exactly zero")
+		}
+	}
+	g := GramWeighted(a, w)
+	for _, v := range g.Data {
+		if v != 0 {
+			t.Fatal("GramWeighted with all-zero weights must be exactly zero")
+		}
+	}
+}
+
+// The zero-skip fast path in Mul/MulTN must not change results when entire
+// 4-wide K groups are zero.
+func TestBlockedGEMMSparseRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := RandomNormal(7, 24, rng)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for k := 4; k < 12; k++ {
+			row[k] = 0 // a whole tile of zeros plus part of the next
+		}
+	}
+	b := RandomNormal(24, 5, rng)
+	if d := MaxAbsDiff(Mul(a, b), naiveMul(a, b)); d > 1e-12 {
+		t.Errorf("Mul with zero runs differs from naive by %v", d)
+	}
+	c := Mul(a, b)
+	if d := MaxAbsDiff(MulTN(a, c), naiveMulTN(a, c)); d > 1e-12 {
+		t.Errorf("MulTN with zero runs differs from naive by %v", d)
+	}
+}
+
+func TestMicrokernelTails(t *testing.T) {
+	// axpy4 with destination shorter than one 4-wide j step.
+	dst := []float64{1, 2, 3}
+	axpy4(dst, 1, 2, 3, 4,
+		[]float64{1, 0, 0}, []float64{0, 1, 0}, []float64{0, 0, 1}, []float64{1, 1, 1})
+	want := []float64{1 + 1 + 4, 2 + 2 + 4, 3 + 3 + 4}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("axpy4 tail: dst[%d]=%v want %v", i, dst[i], want[i])
+		}
+	}
+	// axpy1 skips work entirely for a zero coefficient.
+	axpy1(dst, 0, []float64{100, 100, 100})
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatal("axpy1 with zero coefficient modified dst")
+		}
+	}
+	if d := dot([]float64{1, 2}, []float64{3, 4}); d != 11 {
+		t.Fatalf("dot = %v, want 11", d)
+	}
+	if d := dotW([]float64{1, 2}, []float64{2, 0.5}, []float64{3, 4}); d != 10 {
+		t.Fatalf("dotW = %v, want 10", d)
+	}
+}

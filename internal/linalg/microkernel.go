@@ -1,0 +1,170 @@
+package linalg
+
+// Register-blocked micro-kernels shared by the GEMM variants in gemm.go.
+//
+// Two shapes cover all five entry points:
+//
+//   - axpy4: one destination row accumulates four scaled source rows in a
+//     single pass. Compared with the naive ikj loop this quarters the
+//     read/write traffic on the C row (the only operand that is both read
+//     and written) and exposes four independent multiply-add chains per
+//     element. Used by Mul and MulTN, whose inner loops are row updates.
+//   - dot4x4 / dotW4x4: a 4x4 block of row-dot products held in sixteen
+//     scalar accumulators, so every loaded element of A and B is used four
+//     times before leaving registers. Used by MulNT, MulNTWeighted and
+//     GramWeighted, whose inner loops are row dots.
+//
+// Tails in every dimension (fewer than four rows, columns, or k steps left)
+// fall back to the scalar helpers at the bottom of the file, which are also
+// the reference semantics the golden tests compare against.
+
+// gemmKC is the K-dimension panel width: Mul and MulTN sweep B in panels of
+// at most gemmKC rows so the panel (gemmKC x Cols values) is reused across
+// every output row a worker owns instead of being streamed once per row.
+// 512 rows of a rank-16 factor are 64 KiB — comfortably L2-resident.
+const gemmKC = 512
+
+// axpy4 computes dst[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j].
+// b0..b3 must be at least len(dst) long.
+func axpy4(dst []float64, a0, a1, a2, a3 float64, b0, b1, b2, b3 []float64) {
+	n := len(dst)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	j := 0
+	for ; j+3 < n; j += 4 {
+		d0 := dst[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		d1 := dst[j+1] + a0*b0[j+1] + a1*b1[j+1] + a2*b2[j+1] + a3*b3[j+1]
+		d2 := dst[j+2] + a0*b0[j+2] + a1*b1[j+2] + a2*b2[j+2] + a3*b3[j+2]
+		d3 := dst[j+3] + a0*b0[j+3] + a1*b1[j+3] + a2*b2[j+3] + a3*b3[j+3]
+		dst[j], dst[j+1], dst[j+2], dst[j+3] = d0, d1, d2, d3
+	}
+	for ; j < n; j++ {
+		dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// axpy1 computes dst[j] += a·b[j]; the scalar K tail of axpy4 callers.
+func axpy1(dst []float64, a float64, b []float64) {
+	if a == 0 {
+		return
+	}
+	for j, bv := range b[:len(dst)] {
+		dst[j] += a * bv
+	}
+}
+
+// dot4x4 accumulates the sixteen dot products of rows a0..a3 against rows
+// b0..b3 into acc (row-major: acc[ii*4+jj] += Σ_k a_ii[k]·b_jj[k]). All
+// eight slices must share the length of a0.
+func dot4x4(a0, a1, a2, a3, b0, b1, b2, b3 []float64, acc *[16]float64) {
+	n := len(a0)
+	a1, a2, a3 = a1[:n], a2[:n], a3[:n]
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	var s00, s01, s02, s03 float64
+	var s10, s11, s12, s13 float64
+	var s20, s21, s22, s23 float64
+	var s30, s31, s32, s33 float64
+	for k := 0; k < n; k++ {
+		av0, av1, av2, av3 := a0[k], a1[k], a2[k], a3[k]
+		bv0, bv1, bv2, bv3 := b0[k], b1[k], b2[k], b3[k]
+		s00 += av0 * bv0
+		s01 += av0 * bv1
+		s02 += av0 * bv2
+		s03 += av0 * bv3
+		s10 += av1 * bv0
+		s11 += av1 * bv1
+		s12 += av1 * bv2
+		s13 += av1 * bv3
+		s20 += av2 * bv0
+		s21 += av2 * bv1
+		s22 += av2 * bv2
+		s23 += av2 * bv3
+		s30 += av3 * bv0
+		s31 += av3 * bv1
+		s32 += av3 * bv2
+		s33 += av3 * bv3
+	}
+	acc[0] += s00
+	acc[1] += s01
+	acc[2] += s02
+	acc[3] += s03
+	acc[4] += s10
+	acc[5] += s11
+	acc[6] += s12
+	acc[7] += s13
+	acc[8] += s20
+	acc[9] += s21
+	acc[10] += s22
+	acc[11] += s23
+	acc[12] += s30
+	acc[13] += s31
+	acc[14] += s32
+	acc[15] += s33
+}
+
+// dotW4x4 is dot4x4 with a per-k diagonal weight: acc[ii*4+jj] +=
+// Σ_k a_ii[k]·w[k]·b_jj[k]. The weight is folded into the A side once, so
+// the inner step costs four extra multiplies rather than sixteen.
+func dotW4x4(a0, a1, a2, a3 []float64, w []float64, b0, b1, b2, b3 []float64, acc *[16]float64) {
+	n := len(a0)
+	a1, a2, a3, w = a1[:n], a2[:n], a3[:n], w[:n]
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	var s00, s01, s02, s03 float64
+	var s10, s11, s12, s13 float64
+	var s20, s21, s22, s23 float64
+	var s30, s31, s32, s33 float64
+	for k := 0; k < n; k++ {
+		wv := w[k]
+		av0, av1, av2, av3 := a0[k]*wv, a1[k]*wv, a2[k]*wv, a3[k]*wv
+		bv0, bv1, bv2, bv3 := b0[k], b1[k], b2[k], b3[k]
+		s00 += av0 * bv0
+		s01 += av0 * bv1
+		s02 += av0 * bv2
+		s03 += av0 * bv3
+		s10 += av1 * bv0
+		s11 += av1 * bv1
+		s12 += av1 * bv2
+		s13 += av1 * bv3
+		s20 += av2 * bv0
+		s21 += av2 * bv1
+		s22 += av2 * bv2
+		s23 += av2 * bv3
+		s30 += av3 * bv0
+		s31 += av3 * bv1
+		s32 += av3 * bv2
+		s33 += av3 * bv3
+	}
+	acc[0] += s00
+	acc[1] += s01
+	acc[2] += s02
+	acc[3] += s03
+	acc[4] += s10
+	acc[5] += s11
+	acc[6] += s12
+	acc[7] += s13
+	acc[8] += s20
+	acc[9] += s21
+	acc[10] += s22
+	acc[11] += s23
+	acc[12] += s30
+	acc[13] += s31
+	acc[14] += s32
+	acc[15] += s33
+}
+
+// dot is the scalar row-dot tail: Σ_k a[k]·b[k].
+func dot(a, b []float64) float64 {
+	var s float64
+	for k, av := range a {
+		s += av * b[k]
+	}
+	return s
+}
+
+// dotW is the scalar weighted row-dot tail: Σ_k a[k]·w[k]·b[k].
+func dotW(a, w, b []float64) float64 {
+	var s float64
+	for k, av := range a {
+		s += av * w[k] * b[k]
+	}
+	return s
+}

@@ -54,6 +54,10 @@ type Options struct {
 	Guard *memguard.Guard
 	// Workers is the kernel goroutine count; 0 means GOMAXPROCS.
 	Workers int
+	// Scheduling selects the kernel accumulation strategy (owner-computes
+	// vs striped locks); the zero value picks automatically. See
+	// kernels.Scheduling and DESIGN.md §6.
+	Scheduling kernels.Scheduling
 	// OnIteration, when non-nil, is invoked after every sweep with the
 	// 1-based iteration number and the current relative error; returning
 	// false stops the run early (Result.Converged stays false).
@@ -181,7 +185,9 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 	res := &Result{NormX2: x.NormSquared()}
 	var cache css.Cache
 	var pool kernels.WorkspacePool
-	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers, PlanCache: &cache, Pool: &pool}
+	var scheds kernels.ScheduleCache
+	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers, Scheduling: opts.Scheduling,
+		PlanCache: &cache, Pool: &pool, Schedules: &scheds}
 
 	t0 := time.Now()
 	u, err := initFactor(x, &opts)
@@ -240,7 +246,9 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 	res := &Result{NormX2: x.NormSquared()}
 	var cache css.Cache
 	var pool kernels.WorkspacePool
-	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers, PlanCache: &cache, Pool: &pool}
+	var scheds kernels.ScheduleCache
+	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers, Scheduling: opts.Scheduling,
+		PlanCache: &cache, Pool: &pool, Schedules: &scheds}
 
 	t0 := time.Now()
 	u, err := initFactor(x, &opts)

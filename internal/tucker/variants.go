@@ -26,7 +26,9 @@ func HOOICSS(x *spsym.Tensor, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{NormX2: x.NormSquared()}
-	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers}
+	var scheds kernels.ScheduleCache
+	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers,
+		Scheduling: opts.Scheduling, Schedules: &scheds}
 
 	t0 := time.Now()
 	u, err := initFactor(x, &opts)
@@ -153,7 +155,9 @@ func HOQRINary(x *spsym.Tensor, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{NormX2: x.NormSquared()}
-	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers}
+	var scheds kernels.ScheduleCache
+	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers,
+		Scheduling: opts.Scheduling, Schedules: &scheds}
 
 	t0 := time.Now()
 	u, err := initFactor(x, &opts)

@@ -1,0 +1,143 @@
+// Command benchjson runs the repository's Go benchmarks and writes a
+// BENCH_<date>.json snapshot: parsed per-benchmark metrics for programmatic
+// trend tracking plus the raw `go test -bench` text, which is exactly the
+// format benchstat consumes. Usage:
+//
+//	go run ./tools/benchjson [-out BENCH_2026-01-02.json] [-benchtime 5x] [-count 3] [pkgs...]
+//
+// With no packages it benchmarks ./internal/kernels and ./internal/linalg,
+// the two packages carrying the scheduling and GEMM ablations. To compare
+// two snapshots with benchstat, feed it the .raw fields:
+//
+//	jq -r .raw BENCH_old.json > old.txt
+//	jq -r .raw BENCH_new.json > new.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `BenchmarkX-N  iters  ns/op ...` result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the schema of a BENCH_<date>.json file.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	Command    string      `json:"command"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw is the unmodified benchmark output, benchstat-compatible.
+	Raw string `json:"raw"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default BENCH_<today>.json)")
+	benchtime := flag.String("benchtime", "5x", "value passed to -benchtime")
+	count := flag.Int("count", 1, "value passed to -count")
+	pattern := flag.String("bench", ".", "value passed to -bench")
+	flag.Parse()
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./internal/kernels", "./internal/linalg"}
+	}
+	args := append([]string{
+		"test", "-run=^$", "-bench=" + *pattern,
+		"-benchtime=" + *benchtime, "-benchmem",
+		fmt.Sprintf("-count=%d", *count),
+	}, pkgs...)
+
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Command:    "go " + strings.Join(args, " "),
+		Benchmarks: parseBenchLines(string(raw)),
+		Raw:        string(raw),
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmark results)\n", path, len(snap.Benchmarks))
+}
+
+// parseBenchLines extracts result lines of the form
+//
+//	BenchmarkName-8   	     123	   4567 ns/op	  89 B/op	   2 allocs/op
+func parseBenchLines(raw string) []Benchmark {
+	var out []Benchmark
+	for _, line := range strings.Split(raw, "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
