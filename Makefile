@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke bench bench-json verify examples reproduce generate clean
+.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke bench bench-json verify examples reproduce generate clean
 
 all: build vet lint test
 
@@ -33,6 +33,19 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) -run=^$$ ./internal/hypergraph/
 	$(GO) test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run=^$$ ./internal/spsym/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) -run=^$$ ./internal/spsym/
+
+# The resilience suite under the race detector: fault-injected cancels,
+# worker panics, guard rejections, NaN poisoning, checkpoint/resume, and
+# the goroutine-leak checks (see DESIGN.md §7).
+fault-matrix:
+	$(GO) test -race -run 'Fault|Cancel|Resilien|Leak|Checkpoint|Resume|Panic|Budget|NaN|Breakdown|Guard' \
+		./internal/kernels/ ./internal/tucker/ ./internal/memguard/ ./cmd/symprop/
+	$(GO) test -race ./internal/faultinject/ ./internal/checkpoint/
+
+# End-to-end SIGINT → checkpoint → resume smoke test through the real CLI
+# signal path (exit status 3, bit-identical resumed trace).
+resume-smoke:
+	./scripts/resume_smoke.sh
 
 # testing.B benchmarks (one family per paper table/figure).
 bench:

@@ -4,21 +4,31 @@
 //
 //	symprop info <tensor.tns>
 //	symprop decompose -rank R [-algo hoqri|hooi] [-iters N] [-tol T]
-//	        [-hosvd] [-seed S] [-out factor.txt] <tensor.tns>
+//	        [-hosvd] [-seed S] [-workers W] [-out factor.txt]
+//	        [-checkpoint run.ckpt [-checkpoint-every K] [-resume]] <tensor.tns>
 //	symprop ttmc -rank R [-seed S] <tensor.tns>
 //
 // Tensors use the symmetric text format ("sym <order> <dim> <nnz>" header,
 // then 1-based "i1 ... iN value" lines); hypergraph edge lists can be
 // converted with symprop-gen.
+//
+// SIGINT/SIGTERM cancel a running decomposition cooperatively: the current
+// kernel stops, a final snapshot is written when -checkpoint is set, and
+// the process exits with status 3 (distinct from hard failures, status 1)
+// so wrappers can rerun with -resume.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	symprop "github.com/symprop/symprop"
@@ -27,17 +37,26 @@ import (
 	"github.com/symprop/symprop/internal/spsym"
 )
 
+// exitInterrupted is the exit status of a run canceled by SIGINT/SIGTERM —
+// an expected, resumable outcome, not a failure.
+const exitInterrupted = 3
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
+	// The first signal cancels the run cooperatively (checkpoint, then exit
+	// 3); stop() restores default delivery, so a second signal kills the
+	// process the ordinary way if the graceful path wedges.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "info":
 		err = runInfo(os.Args[2:])
 	case "decompose":
-		err = runDecompose(os.Args[2:])
+		err = runDecompose(ctx, os.Args[2:])
 	case "ttmc":
 		err = runTTMc(os.Args[2:])
 	case "cp":
@@ -48,6 +67,14 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "symprop:", err)
+		if errors.Is(err, symprop.ErrCanceled) {
+			var ce *symprop.CanceledError
+			if errors.As(err, &ce) && ce.CheckpointPath != "" {
+				fmt.Fprintf(os.Stderr, "symprop: snapshot written to %s; rerun with -resume to continue\n",
+					ce.CheckpointPath)
+			}
+			os.Exit(exitInterrupted)
+		}
 		os.Exit(1)
 	}
 }
@@ -55,7 +82,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   symprop info <tensor.tns>
-  symprop decompose -rank R [-algo hoqri|hooi] [-iters N] [-tol T] [-hosvd] [-seed S] [-out U.txt] <tensor.tns>
+  symprop decompose -rank R [-algo hoqri|hooi] [-iters N] [-tol T] [-hosvd] [-seed S] [-workers W]
+          [-out U.txt] [-trace trace.csv] [-checkpoint run.ckpt [-checkpoint-every K] [-resume]] <tensor.tns>
   symprop ttmc -rank R [-seed S] <tensor.tns>
   symprop cp -rank R [-iters N] [-tol T] [-seed S] <tensor.tns>`)
 }
@@ -125,7 +153,7 @@ func runInfo(args []string) error {
 	return nil
 }
 
-func runDecompose(args []string) error {
+func runDecompose(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("decompose", flag.ExitOnError)
 	rank := fs.Int("rank", 4, "Tucker rank R")
 	algo := fs.String("algo", "hoqri", "algorithm: hoqri or hooi")
@@ -133,8 +161,12 @@ func runDecompose(args []string) error {
 	tol := fs.Float64("tol", 1e-6, "relative objective tolerance (0 = run all iterations)")
 	hosvd := fs.Bool("hosvd", false, "initialize with HOSVD instead of randomly")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "write the factor matrix U to this file")
 	trace := fs.String("trace", "", "write the per-iteration convergence trace as CSV to this file")
+	ckpt := fs.String("checkpoint", "", "snapshot the run state to this file periodically and on interrupt")
+	ckptEvery := fs.Int("checkpoint-every", 10, "snapshot every K iterations (with -checkpoint)")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -145,6 +177,8 @@ func runDecompose(args []string) error {
 
 	opts := symprop.Options{
 		Rank: *rank, MaxIters: *iters, Tol: *tol, HOSVDInit: *hosvd, Seed: *seed,
+		Workers: *workers, Ctx: ctx,
+		CheckpointPath: *ckpt, CheckpointEvery: *ckptEvery, Resume: *resume,
 	}
 	switch *algo {
 	case "hoqri":

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -38,7 +39,7 @@ func TestRunDecompose(t *testing.T) {
 	dir := t.TempDir()
 	uOut := filepath.Join(dir, "u.txt")
 	traceOut := filepath.Join(dir, "trace.csv")
-	err := runDecompose([]string{
+	err := runDecompose(context.Background(), []string{
 		"-rank", "3", "-iters", "5", "-algo", "hoqri",
 		"-out", uOut, "-trace", traceOut, path,
 	})
@@ -55,11 +56,50 @@ func TestRunDecompose(t *testing.T) {
 	if len(data) == 0 {
 		t.Error("trace file empty")
 	}
-	if err := runDecompose([]string{"-rank", "2", "-algo", "hooi", "-iters", "2", path}); err != nil {
+	if err := runDecompose(context.Background(), []string{"-rank", "2", "-algo", "hooi", "-iters", "2", path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runDecompose([]string{"-rank", "2", "-algo", "bogus", path}); err == nil {
+	if err := runDecompose(context.Background(), []string{"-rank", "2", "-algo", "bogus", path}); err == nil {
 		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestRunDecomposeCheckpointResume(t *testing.T) {
+	path := tensorFile(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	straight := filepath.Join(dir, "straight.csv")
+	resumed := filepath.Join(dir, "resumed.csv")
+	common := []string{"-rank", "3", "-algo", "hooi", "-tol", "0", "-seed", "7", "-workers", "2"}
+
+	args := append(append([]string{}, common...), "-iters", "8", "-trace", straight, path)
+	if err := runDecompose(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	args = append(append([]string{}, common...),
+		"-iters", "3", "-checkpoint", ckpt, "-checkpoint-every", "1", path)
+	if err := runDecompose(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	args = append(append([]string{}, common...),
+		"-iters", "8", "-checkpoint", ckpt, "-resume", "-trace", resumed, path)
+	if err := runDecompose(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("resumed trace differs from straight run:\nstraight:\n%s\nresumed:\n%s", want, got)
 	}
 }
 

@@ -1,0 +1,170 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/symprop/symprop/internal/linalg"
+)
+
+func sampleState() *State {
+	u := linalg.NewMatrix(4, 3)
+	for i := range u.Data {
+		u.Data[i] = float64(i) * 1.25e-3
+	}
+	u.Data[5] = math.Nextafter(1, 2) // a value whose bits matter
+	return &State{
+		Algo:        "hoqri",
+		Fingerprint: 0xdeadbeefcafef00d,
+		Iteration:   4,
+		Seed:        -42,
+		U:           u,
+		Objective:   []float64{3.5, 2.25, 2.0 + 1e-16, 1.125},
+		RelError:    []float64{0.9, 0.5, 0.25, 0.125},
+	}
+}
+
+func TestRoundTripBitIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	want := sampleState()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algo != want.Algo || got.Fingerprint != want.Fingerprint ||
+		got.Iteration != want.Iteration || got.Seed != want.Seed {
+		t.Errorf("header fields differ: %+v vs %+v", got, want)
+	}
+	if got.U.Rows != want.U.Rows || got.U.Cols != want.U.Cols {
+		t.Fatalf("U shape %dx%d, want %dx%d", got.U.Rows, got.U.Cols, want.U.Rows, want.U.Cols)
+	}
+	for i := range want.U.Data {
+		if math.Float64bits(got.U.Data[i]) != math.Float64bits(want.U.Data[i]) {
+			t.Fatalf("U bit mismatch at %d", i)
+		}
+	}
+	for i := range want.Objective {
+		if math.Float64bits(got.Objective[i]) != math.Float64bits(want.Objective[i]) ||
+			math.Float64bits(got.RelError[i]) != math.Float64bits(want.RelError[i]) {
+			t.Fatalf("trace bit mismatch at %d", i)
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	s := sampleState()
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	s.Iteration = 5
+	s.Objective = append(s.Objective, 1.0)
+	s.RelError = append(s.RelError, 0.1)
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 5 || len(got.Objective) != 5 {
+		t.Errorf("second snapshot not visible: iter %d, %d entries", got.Iteration, len(got.Objective))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("want os.ErrNotExist, got %v", err)
+	}
+	if errors.Is(err, ErrCheckpointCorrupt) {
+		t.Error("a missing file must not be reported as corruption")
+	}
+}
+
+// Every single-byte corruption and every truncation must surface as
+// ErrCheckpointCorrupt, never as a bogus State or a panic.
+func TestCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, raw []byte) {
+		t.Helper()
+		bad := filepath.Join(t.TempDir(), "bad.ckpt")
+		if err := os.WriteFile(bad, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(bad); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("%s: want ErrCheckpointCorrupt, got %v", name, err)
+		}
+	}
+
+	// Flip one byte at a selection of offsets across all regions.
+	for _, off := range []int{0, 7, 8, 20, 40, len(pristine) / 2, len(pristine) - 2} {
+		raw := append([]byte(nil), pristine...)
+		raw[off] ^= 0x5a
+		check("flip@"+string(rune('0'+off%10)), raw)
+	}
+	// Truncations.
+	for _, n := range []int{0, 5, 16, len(pristine) - 1} {
+		check("truncate", pristine[:n])
+	}
+	// Oversized length field claiming more than the file holds.
+	raw := append([]byte(nil), pristine...)
+	raw[8] = 0xff
+	raw[14] = 0xff
+	check("length bomb", raw)
+}
+
+func TestVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[7] = 99
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("future version must be rejected: %v", err)
+	}
+}
+
+func TestInconsistentTracesRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	s := sampleState()
+	s.RelError = s.RelError[:2] // shorter than Objective
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("mismatched trace lengths must be rejected: %v", err)
+	}
+}

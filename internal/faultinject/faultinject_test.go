@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFireDisarmedIsNil(t *testing.T) {
+	if Active() {
+		t.Fatal("hooks armed at test start")
+	}
+	if err := Fire(SiteKernelWorker, 1); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+func TestArmFireDisarm(t *testing.T) {
+	want := errors.New("boom")
+	disarm := Arm(SiteGuardReserve, func(payload any) error {
+		if payload != "what" {
+			t.Errorf("payload = %v", payload)
+		}
+		return want
+	})
+	if err := Fire(SiteGuardReserve, "what"); !errors.Is(err, want) {
+		t.Fatalf("Fire = %v, want %v", err, want)
+	}
+	// Other sites are unaffected.
+	if err := Fire(SiteKernelWorker, 0); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	disarm()
+	disarm() // idempotent
+	if Active() {
+		t.Error("still active after disarm")
+	}
+	if err := Fire(SiteGuardReserve, "what"); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+}
+
+func TestOnHit(t *testing.T) {
+	want := errors.New("third")
+	hook := OnHit(3, func(any) error { return want })
+	defer Arm(SiteIteration, hook)()
+	for i := 1; i <= 5; i++ {
+		err := Fire(SiteIteration, i)
+		if i == 3 && !errors.Is(err, want) {
+			t.Errorf("hit %d: err = %v, want %v", i, err, want)
+		}
+		if i != 3 && err != nil {
+			t.Errorf("hit %d: err = %v, want nil", i, err)
+		}
+	}
+}
+
+func TestAfterN(t *testing.T) {
+	want := errors.New("late")
+	defer Arm(SiteIteration, AfterN(2, func(any) error { return want }))()
+	for i := 1; i <= 4; i++ {
+		err := Fire(SiteIteration, i)
+		if i <= 2 && err != nil {
+			t.Errorf("hit %d: err = %v, want nil", i, err)
+		}
+		if i > 2 && !errors.Is(err, want) {
+			t.Errorf("hit %d: err = %v, want %v", i, err, want)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	hook, count := Counter()
+	defer Arm(SiteKernelOutput, hook)()
+	for i := 0; i < 7; i++ {
+		if err := Fire(SiteKernelOutput, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count() != 7 {
+		t.Errorf("count = %d, want 7", count())
+	}
+}
+
+func TestMultipleHooksFirstErrorWins(t *testing.T) {
+	first := errors.New("first")
+	d1 := Arm(SiteIteration, func(any) error { return first })
+	d2 := Arm(SiteIteration, func(any) error { return errors.New("second") })
+	defer d1()
+	defer d2()
+	if err := Fire(SiteIteration, 0); !errors.Is(err, first) {
+		t.Errorf("err = %v, want first", err)
+	}
+}
+
+// Concurrent Arm/Fire/disarm must be race-free (run with -race).
+func TestConcurrentFire(t *testing.T) {
+	hook, count := Counter()
+	disarm := Arm(SiteKernelWorker, hook)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := Fire(SiteKernelWorker, i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	disarm()
+	if count() != 8000 {
+		t.Errorf("count = %d, want 8000", count())
+	}
+}

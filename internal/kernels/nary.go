@@ -1,7 +1,10 @@
 package kernels
 
 import (
+	"sync"
+
 	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/faultinject"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -55,6 +58,9 @@ func NaryTTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*NaryResult, e
 	}
 	defer opts.Guard.Release(wsBytes)
 
+	if canceled(opts.Ctx) {
+		return nil, cancelCause(opts.Ctx)
+	}
 	core := linalg.NewMatrix(r, int(kronLen))
 
 	// Pass 1: accumulate the core from every expanded non-zero. Each worker
@@ -69,27 +75,46 @@ func NaryTTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*NaryResult, e
 		coreWorkers = 1
 	}
 	partials := make([]*linalg.Matrix, coreWorkers)
+	passErrs := make([]error, coreWorkers)
 	linalg.ParallelForWorkers(coreWorkers, coreWorkers, func(wlo, whi int) {
 		for w := wlo; w < whi; w++ {
-			lo, hi := chunkRange(x.NNZ(), coreWorkers, w)
-			partial := linalg.NewMatrix(r, int(kronLen))
-			partials[w] = partial
-			kron := make([]float64, kronLen)
-			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
-				Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
-			sub.ForEachExpanded(func(idx []int32, val float64) {
-				kronRows(u, idx[1:], kron)
-				urow := u.Row(int(idx[0]))
-				for r1 := 0; r1 < r; r1++ {
-					c := val * urow[r1]
-					row := partial.Row(r1)
-					for j, kv := range kron {
-						row[j] += c * kv
+			passErrs[w] = func() (err error) {
+				defer capturePanic(&err)
+				lo, hi := chunkRange(x.NNZ(), coreWorkers, w)
+				partial := linalg.NewMatrix(r, int(kronLen))
+				partials[w] = partial
+				kron := make([]float64, kronLen)
+				sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+				for k := lo; k < hi; k++ {
+					if (k-lo)%cancelCheckEvery == 0 && canceled(opts.Ctx) {
+						return cancelCause(opts.Ctx)
 					}
+					if err := fireWorker(k); err != nil {
+						return err
+					}
+					sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
+					sub.Values = x.Values[k : k+1]
+					sub.ForEachExpanded(func(idx []int32, val float64) {
+						kronRows(u, idx[1:], kron)
+						urow := u.Row(int(idx[0]))
+						for r1 := 0; r1 < r; r1++ {
+							c := val * urow[r1]
+							row := partial.Row(r1)
+							for j, kv := range kron {
+								row[j] += c * kv
+							}
+						}
+					})
 				}
-			})
+				return nil
+			}()
 		}
 	})
+	for _, err := range passErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	for _, partial := range partials {
 		for i, v := range partial.Data {
 			core.Data[i] += v
@@ -113,9 +138,15 @@ func NaryTTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*NaryResult, e
 	}
 	defer release()
 	if mode == SchedOwnerComputes {
-		naryScatterOwner(x, u, opts, workers, core, a)
+		err = naryScatterOwner(x, u, opts, workers, core, a)
 	} else {
-		naryScatterStriped(x, u, workers, core, a)
+		err = naryScatterStriped(x, u, opts, workers, core, a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := faultinject.Fire(faultinject.SiteKernelOutput, a); err != nil {
+		return nil, err
 	}
 	return &NaryResult{A: a, CoreFull: core}, nil
 }
@@ -136,54 +167,98 @@ func naryContrib(core *linalg.Matrix, kron []float64, val float64, contrib []flo
 // naryScatterOwner is the contention-free pass 2: non-zeros are binned to
 // the worker owning their leading row; foreign rows go to spill buffers.
 func naryScatterOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int,
-	core, a *linalg.Matrix) {
+	core, a *linalg.Matrix) error {
 	sched := opts.Schedules.get(x, workers)
 	workers = sched.workers
 	spills := newSpillSet(opts.Schedules, workers, a.Rows, a.Cols)
+	errs := make([]error, workers)
+	ctx := opts.Ctx
 	linalg.ParallelForWorkers(workers, workers, func(lo, hi int) {
 		for w := lo; w < hi; w++ {
+			errs[w] = func() (err error) {
+				defer capturePanic(&err)
+				kron := make([]float64, core.Cols)
+				contrib := make([]float64, a.Cols)
+				rowLo, rowHi := sched.ownedRows(w)
+				spill := spills.buffer(w)
+				sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+				for i, k32 := range sched.bin(w) {
+					if i%cancelCheckEvery == 0 && canceled(ctx) {
+						return cancelCause(ctx)
+					}
+					k := int(k32)
+					if err := fireWorker(k); err != nil {
+						return err
+					}
+					sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
+					sub.Values = x.Values[k : k+1]
+					sub.ForEachExpanded(func(idx []int32, val float64) {
+						kronRows(u, idx[1:], kron)
+						naryContrib(core, kron, val, contrib)
+						row := int(idx[0])
+						if row >= rowLo && row < rowHi {
+							dense.AxpyCompact(1, contrib, a.Row(row))
+						} else {
+							spill.add(row, 1, contrib)
+						}
+					})
+				}
+				return nil
+			}()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			// Dirty spill buffers go to the GC, not the pool (see
+			// runLatticeOwner).
+			return err
+		}
+	}
+	spills.reduceInto(a, workers, opts.Schedules)
+	return nil
+}
+
+// naryScatterStriped is the striped-lock ablation baseline of pass 2.
+func naryScatterStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int,
+	core, a *linalg.Matrix) error {
+	var locks rowLocks
+	var firstErr error
+	var errMu sync.Mutex
+	ctx := opts.Ctx
+	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
+		if err := func() (err error) {
+			defer capturePanic(&err)
 			kron := make([]float64, core.Cols)
 			contrib := make([]float64, a.Cols)
-			rowLo, rowHi := sched.ownedRows(w)
-			spill := spills.buffer(w)
 			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
-			for _, k32 := range sched.bin(w) {
-				k := int(k32)
+			for k := lo; k < hi; k++ {
+				if (k-lo)%cancelCheckEvery == 0 && canceled(ctx) {
+					return cancelCause(ctx)
+				}
+				if err := fireWorker(k); err != nil {
+					return err
+				}
 				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
 				sub.Values = x.Values[k : k+1]
 				sub.ForEachExpanded(func(idx []int32, val float64) {
 					kronRows(u, idx[1:], kron)
 					naryContrib(core, kron, val, contrib)
 					row := int(idx[0])
-					if row >= rowLo && row < rowHi {
-						dense.AxpyCompact(1, contrib, a.Row(row))
-					} else {
-						spill.add(row, 1, contrib)
-					}
+					locks.lock(row)
+					dense.AxpyCompact(1, contrib, a.Row(row))
+					locks.unlock(row)
 				})
 			}
+			return nil
+		}(); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
 		}
 	})
-	spills.reduceInto(a, workers, opts.Schedules)
-}
-
-// naryScatterStriped is the striped-lock ablation baseline of pass 2.
-func naryScatterStriped(x *spsym.Tensor, u *linalg.Matrix, workers int, core, a *linalg.Matrix) {
-	var locks rowLocks
-	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
-		kron := make([]float64, core.Cols)
-		contrib := make([]float64, a.Cols)
-		sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
-			Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
-		sub.ForEachExpanded(func(idx []int32, val float64) {
-			kronRows(u, idx[1:], kron)
-			naryContrib(core, kron, val, contrib)
-			row := int(idx[0])
-			locks.lock(row)
-			dense.AxpyCompact(1, contrib, a.Row(row))
-			locks.unlock(row)
-		})
-	})
+	return firstErr
 }
 
 // kronRows writes the Kronecker product of the U rows selected by idx into

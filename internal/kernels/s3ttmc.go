@@ -18,6 +18,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,6 +26,7 @@ import (
 
 	"github.com/symprop/symprop/internal/css"
 	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/faultinject"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -52,6 +54,10 @@ const (
 
 // Options configures kernel execution.
 type Options struct {
+	// Ctx, when non-nil, cancels in-flight kernels cooperatively: worker
+	// loops poll it every cancelCheckEvery non-zeros and the kernel returns
+	// the context's cause (resilience.go). A nil context never cancels.
+	Ctx context.Context
 	// Guard bounds memory; nil disables the budget.
 	Guard *memguard.Guard
 	// Workers is the goroutine count; 0 means GOMAXPROCS.
@@ -321,6 +327,9 @@ func runLattice(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool, y
 	if workers < 1 {
 		workers = 1
 	}
+	if canceled(opts.Ctx) {
+		return cancelCause(opts.Ctx)
+	}
 	mode, release, err := resolveScheduling(opts, y.Rows, y.Cols, workers)
 	if err != nil {
 		return err
@@ -343,32 +352,44 @@ func runLatticeOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bo
 	spills := newSpillSet(opts.Schedules, workers, y.Rows, y.Cols)
 	states := make([]*latticeState, workers)
 	errs := make([]error, workers)
+	ctx := opts.Ctx
 	// One chunk of length 1 per worker: the closure parameter is the owner
-	// index, so every slice store below is chunk-derived.
+	// index, so every slice store below is chunk-derived. Each owner's body
+	// runs under capturePanic so a worker panic surfaces as a typed error
+	// instead of killing the process.
 	linalg.ParallelForWorkers(workers, workers, func(lo, hi int) {
 		for w := lo; w < hi; w++ {
-			st := newLatticeState(x, u, opts, compact)
-			states[w] = st
-			rowLo, rowHi := sched.ownedRows(w)
-			spill := spills.buffer(w)
-			for _, k32 := range sched.bin(w) {
-				k := int(k32)
-				plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				topLevel := bufs.levels[len(plan.Levels)-1]
-				val := x.Values[k]
-				for slot, node := range plan.Tops {
-					row := int(values[slot])
-					if row >= rowLo && row < rowHi {
-						dense.AxpyCompact(val, topLevel[node], y.Row(row))
-					} else {
-						spill.add(row, val, topLevel[node])
+			errs[w] = func() (err error) {
+				defer capturePanic(&err)
+				st := newLatticeState(x, u, opts, compact)
+				states[w] = st
+				rowLo, rowHi := sched.ownedRows(w)
+				spill := spills.buffer(w)
+				for i, k32 := range sched.bin(w) {
+					if i%cancelCheckEvery == 0 && canceled(ctx) {
+						return cancelCause(ctx)
+					}
+					k := int(k32)
+					if err := fireWorker(k); err != nil {
+						return err
+					}
+					plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
+					if err != nil {
+						return err
+					}
+					topLevel := bufs.levels[len(plan.Levels)-1]
+					val := x.Values[k]
+					for slot, node := range plan.Tops {
+						row := int(values[slot])
+						if row >= rowLo && row < rowHi {
+							dense.AxpyCompact(val, topLevel[node], y.Row(row))
+						} else {
+							spill.add(row, val, topLevel[node])
+						}
 					}
 				}
-			}
+				return nil
+			}()
 		}
 	})
 	for _, st := range states {
@@ -378,6 +399,9 @@ func runLatticeOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bo
 	}
 	for _, err := range errs {
 		if err != nil {
+			// The spill buffers may hold partial updates from aborted
+			// workers; skipping reduceInto leaves them to the GC instead of
+			// returning dirty memory to the pool's all-zero free list.
 			return err
 		}
 	}
@@ -393,10 +417,19 @@ func runLatticeStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact 
 	cache *css.Cache, workers int, y *linalg.Matrix) error {
 	var locks rowLocks
 	nnz := x.NNZ()
+	ctx := opts.Ctx
 
 	var firstErr error
 	var errMu sync.Mutex
 	var failed atomic.Bool
+	record := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
 
 	// Free list of per-worker states; at most `workers` are ever live.
 	var stateMu sync.Mutex
@@ -406,43 +439,52 @@ func runLatticeStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact 
 		if failed.Load() {
 			return
 		}
-		stateMu.Lock()
-		var st *latticeState
-		if n := len(free); n > 0 {
-			st = free[n-1]
-			free = free[:n-1]
-			stateMu.Unlock()
-		} else {
-			stateMu.Unlock()
-			st = newLatticeState(x, u, opts, compact)
-			stateMu.Lock()
-			all = append(all, st)
-			stateMu.Unlock()
+		if canceled(ctx) {
+			record(cancelCause(ctx))
+			return
 		}
-		defer func() {
+		// The chunk body runs under capturePanic (LIFO after the free-list
+		// defer, so the state is returned before the panic is converted).
+		if err := func() (err error) {
+			defer capturePanic(&err)
 			stateMu.Lock()
-			free = append(free, st)
-			stateMu.Unlock()
-		}()
-		for k := lo; k < hi; k++ {
-			plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
+			var st *latticeState
+			if n := len(free); n > 0 {
+				st = free[n-1]
+				free = free[:n-1]
+				stateMu.Unlock()
+			} else {
+				stateMu.Unlock()
+				st = newLatticeState(x, u, opts, compact)
+				stateMu.Lock()
+				all = append(all, st)
+				stateMu.Unlock()
+			}
+			defer func() {
+				stateMu.Lock()
+				free = append(free, st)
+				stateMu.Unlock()
+			}()
+			for k := lo; k < hi; k++ {
+				if err := fireWorker(k); err != nil {
+					return err
 				}
-				errMu.Unlock()
-				failed.Store(true)
-				return
+				plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
+				if err != nil {
+					return err
+				}
+				topLevel := bufs.levels[len(plan.Levels)-1]
+				val := x.Values[k]
+				for slot, node := range plan.Tops {
+					row := int(values[slot])
+					locks.lock(row)
+					dense.AxpyCompact(val, topLevel[node], y.Row(row))
+					locks.unlock(row)
+				}
 			}
-			topLevel := bufs.levels[len(plan.Levels)-1]
-			val := x.Values[k]
-			for slot, node := range plan.Tops {
-				row := int(values[slot])
-				locks.lock(row)
-				dense.AxpyCompact(val, topLevel[node], y.Row(row))
-				locks.unlock(row)
-			}
+			return nil
+		}(); err != nil {
+			record(err)
 		}
 	})
 	for _, st := range all {
@@ -474,6 +516,11 @@ func S3TTMcSymProp(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Mat
 
 	y := linalg.NewMatrix(x.Dim, int(cols))
 	if err := runLattice(x, u, opts, true, y); err != nil {
+		return nil, err
+	}
+	// Fault-injection point for numeric-health tests: an armed hook may
+	// poison y (e.g. write a NaN) or abort the kernel with an error.
+	if err := faultinject.Fire(faultinject.SiteKernelOutput, y); err != nil {
 		return nil, err
 	}
 	return y, nil
@@ -527,6 +574,9 @@ func S3TTMcCSS(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix,
 
 	y := linalg.NewMatrix(x.Dim, int(cols))
 	if err := runLattice(x, u, opts, false, y); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Fire(faultinject.SiteKernelOutput, y); err != nil {
 		return nil, err
 	}
 	return y, nil

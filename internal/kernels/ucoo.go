@@ -1,7 +1,10 @@
 package kernels
 
 import (
+	"sync"
+
 	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/faultinject"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -38,6 +41,9 @@ func S3TTMcUCOO(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix
 	if nnz == 0 {
 		return y, nil
 	}
+	if canceled(opts.Ctx) {
+		return nil, cancelCause(opts.Ctx)
+	}
 	workers := opts.workers()
 	if workers > nnz {
 		workers = nnz
@@ -48,9 +54,15 @@ func S3TTMcUCOO(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix
 	}
 	defer release()
 	if mode == SchedOwnerComputes {
-		ucooOwner(x, u, opts, workers, y)
+		err = ucooOwner(x, u, opts, workers, y)
 	} else {
-		ucooStriped(x, u, workers, y)
+		err = ucooStriped(x, u, opts, workers, y)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := faultinject.Fire(faultinject.SiteKernelOutput, y); err != nil {
+		return nil, err
 	}
 	return y, nil
 }
@@ -60,50 +72,93 @@ func S3TTMcUCOO(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix
 // the tuple's distinct values — the same emission pattern as the lattice
 // kernels, so the same schedule (bin by leading row, spill the rest)
 // applies.
-func ucooOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y *linalg.Matrix) {
+func ucooOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y *linalg.Matrix) error {
 	sched := opts.Schedules.get(x, workers)
 	workers = sched.workers
 	spills := newSpillSet(opts.Schedules, workers, y.Rows, y.Cols)
+	errs := make([]error, workers)
+	ctx := opts.Ctx
 	linalg.ParallelForWorkers(workers, workers, func(lo, hi int) {
 		for w := lo; w < hi; w++ {
+			errs[w] = func() (err error) {
+				defer capturePanic(&err)
+				kron := make([]float64, y.Cols)
+				rowLo, rowHi := sched.ownedRows(w)
+				spill := spills.buffer(w)
+				sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+				for i, k32 := range sched.bin(w) {
+					if i%cancelCheckEvery == 0 && canceled(ctx) {
+						return cancelCause(ctx)
+					}
+					k := int(k32)
+					if err := fireWorker(k); err != nil {
+						return err
+					}
+					sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
+					sub.Values = x.Values[k : k+1]
+					sub.ForEachExpanded(func(idx []int32, val float64) {
+						kronRows(u, idx[1:], kron)
+						row := int(idx[0])
+						if row >= rowLo && row < rowHi {
+							dense.AxpyCompact(val, kron, y.Row(row))
+						} else {
+							spill.add(row, val, kron)
+						}
+					})
+				}
+				return nil
+			}()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			// Dirty spill buffers go to the GC, not the pool (see
+			// runLatticeOwner).
+			return err
+		}
+	}
+	spills.reduceInto(y, workers, opts.Schedules)
+	return nil
+}
+
+// ucooStriped is the striped-lock ablation baseline.
+func ucooStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y *linalg.Matrix) error {
+	var locks rowLocks
+	var firstErr error
+	var errMu sync.Mutex
+	ctx := opts.Ctx
+	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
+		if err := func() (err error) {
+			defer capturePanic(&err)
 			kron := make([]float64, y.Cols)
-			rowLo, rowHi := sched.ownedRows(w)
-			spill := spills.buffer(w)
 			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
-			for _, k32 := range sched.bin(w) {
-				k := int(k32)
+			for k := lo; k < hi; k++ {
+				if (k-lo)%cancelCheckEvery == 0 && canceled(ctx) {
+					return cancelCause(ctx)
+				}
+				if err := fireWorker(k); err != nil {
+					return err
+				}
 				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
 				sub.Values = x.Values[k : k+1]
 				sub.ForEachExpanded(func(idx []int32, val float64) {
 					kronRows(u, idx[1:], kron)
 					row := int(idx[0])
-					if row >= rowLo && row < rowHi {
-						dense.AxpyCompact(val, kron, y.Row(row))
-					} else {
-						spill.add(row, val, kron)
-					}
+					locks.lock(row)
+					dense.AxpyCompact(val, kron, y.Row(row))
+					locks.unlock(row)
 				})
 			}
+			return nil
+		}(); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
 		}
 	})
-	spills.reduceInto(y, workers, opts.Schedules)
-}
-
-// ucooStriped is the striped-lock ablation baseline.
-func ucooStriped(x *spsym.Tensor, u *linalg.Matrix, workers int, y *linalg.Matrix) {
-	var locks rowLocks
-	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
-		kron := make([]float64, y.Cols)
-		sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim,
-			Index: x.Index[lo*x.Order : hi*x.Order], Values: x.Values[lo:hi]}
-		sub.ForEachExpanded(func(idx []int32, val float64) {
-			kronRows(u, idx[1:], kron)
-			row := int(idx[0])
-			locks.lock(row)
-			dense.AxpyCompact(val, kron, y.Row(row))
-			locks.unlock(row)
-		})
-	})
+	return firstErr
 }
 
 // EstimateUCOOBytes returns the UCOO kernel footprint: full Y(1) plus

@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+
+	"github.com/symprop/symprop/internal/faultinject"
 )
 
 // ErrOutOfMemory is returned (wrapped) whenever a projected allocation
@@ -32,8 +35,13 @@ var ErrOutOfMemory = errors.New("memguard: out of memory")
 const DefaultBudget int64 = 2 << 30
 
 // Guard tracks a byte budget. The zero value is unlimited; use New for a
-// bounded guard. Guards are not synchronized: reserve before fanning out.
+// bounded guard. Guards are safe for concurrent use: the Tucker drivers
+// share one guard across sweeps and the kernels' worker fan-out, so
+// Reserve/Release pair up correctly even when phases overlap (e.g. a
+// retry with reduced workers racing a late Release from the failed
+// attempt).
 type Guard struct {
+	mu     sync.Mutex
 	budget int64 // <= 0 means unlimited
 	used   int64
 }
@@ -90,12 +98,17 @@ func ParseBytes(s string) (int64, error) {
 // ErrOutOfMemory if it would exceed the budget. n may be produced by
 // saturating arithmetic; anything negative or huge fails immediately.
 func (g *Guard) Reserve(n int64, what string) error {
+	if err := faultinject.Fire(faultinject.SiteGuardReserve, what); err != nil {
+		return fmt.Errorf("memguard: %s rejected by fault injection (%v): %w", what, err, ErrOutOfMemory)
+	}
 	if n < 0 {
 		return fmt.Errorf("memguard: %s needs an impossibly large allocation: %w", what, ErrOutOfMemory)
 	}
 	if g == nil || g.budget <= 0 {
 		return nil
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.used+n > g.budget || g.used+n < 0 {
 		return fmt.Errorf("memguard: %s needs %d bytes, %d of %d already used: %w",
 			what, n, g.used, g.budget, ErrOutOfMemory)
@@ -109,10 +122,12 @@ func (g *Guard) Release(n int64) {
 	if g == nil || g.budget <= 0 {
 		return
 	}
+	g.mu.Lock()
 	g.used -= n
 	if g.used < 0 {
 		g.used = 0
 	}
+	g.mu.Unlock()
 }
 
 // Used reports the currently reserved byte count.
@@ -120,6 +135,8 @@ func (g *Guard) Used() int64 {
 	if g == nil {
 		return 0
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.used
 }
 

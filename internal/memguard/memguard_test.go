@@ -2,7 +2,10 @@ package memguard
 
 import (
 	"errors"
+	"sync"
 	"testing"
+
+	"github.com/symprop/symprop/internal/faultinject"
 )
 
 func TestReserveWithinBudget(t *testing.T) {
@@ -98,6 +101,55 @@ func TestFromEnv(t *testing.T) {
 	t.Setenv("SYMPROP_MEM_BUDGET", "0")
 	if g := FromEnv(); g.Budget() != 0 {
 		t.Errorf("zero env: budget = %d, want unlimited", g.Budget())
+	}
+}
+
+// The guard is shared across Tucker sweeps and the kernels' worker fan-out,
+// so Reserve/Release must be safe under concurrency (run with -race). Every
+// goroutine's reservations are paired with releases, so the final count must
+// come back to exactly zero — any lost update shows up as a nonzero residue.
+func TestConcurrentReserveRelease(t *testing.T) {
+	g := New(1 << 30)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if err := g.Reserve(1024, "worker chunk"); err != nil {
+					t.Error(err)
+					return
+				}
+				if g.Used() <= 0 {
+					t.Error("Used() not positive while holding a reservation")
+					return
+				}
+				g.Release(1024)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Used() != 0 {
+		t.Errorf("Used = %d after balanced reserve/release, want 0", g.Used())
+	}
+}
+
+// An armed SiteGuardReserve hook forces rejections even on an unlimited
+// guard, and the error is a wrapped ErrOutOfMemory.
+func TestInjectedRejection(t *testing.T) {
+	reject := errors.New("injected")
+	defer faultinject.Arm(faultinject.SiteGuardReserve, func(payload any) error {
+		if payload != "victim" {
+			return nil
+		}
+		return reject
+	})()
+	g := New(0) // unlimited
+	if err := g.Reserve(8, "bystander"); err != nil {
+		t.Fatalf("non-matching reservation failed: %v", err)
+	}
+	if err := g.Reserve(8, "victim"); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("injected rejection = %v, want ErrOutOfMemory", err)
 	}
 }
 

@@ -30,10 +30,12 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 	res := &Result{NormX2: x.NormSquared()}
 	var cache css.Cache
 	var pool kernels.WorkspacePool
-	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers, PlanCache: &cache, Pool: &pool}
+	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
+		PlanCache: &cache, Pool: &pool}
+	rs := newRun("hooi-randomized", x, &opts, res, &kopts)
 
 	t0 := time.Now()
-	u, err := initFactor(x, &opts)
+	u, startIt, err := rs.start(func() (*linalg.Matrix, error) { return initFactor(x, &opts) })
 	if err != nil {
 		return nil, err
 	}
@@ -43,11 +45,14 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 	p := kernels.PermCounts(x.Order-1, r)
 	res.P = p
 
-	for it := 0; it < opts.MaxIters; it++ {
+	for it := startIt; it < opts.MaxIters; it++ {
+		if err := rs.beginIteration(it, u); err != nil {
+			return nil, err
+		}
 		t := time.Now()
 		yp, err := kernels.S3TTMcSymProp(x, u, kopts)
 		if err != nil {
-			return nil, err
+			return nil, rs.wrapKernelErr(u, err)
 		}
 		res.Phases.TTMc += time.Since(t)
 
@@ -87,15 +92,22 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if u, err = rs.healthyFactor(it, u); err != nil {
+			return nil, err
+		}
 		res.Phases.SVD += time.Since(t)
 
 		t = time.Now()
 		res.CoreP = linalg.MulTN(u, yp)
 		coreNorm2 := weightedNorm2(res.CoreP, p)
 		recordObjective(res, res.NormX2, coreNorm2)
+		rs.observeObjective(it)
 		res.Phases.Core += time.Since(t)
 
 		res.Iters = it + 1
+		if err := rs.maybeCheckpoint(u); err != nil {
+			return nil, err
+		}
 		if converged(res, opts.Tol) {
 			res.Converged = true
 			break
@@ -103,6 +115,15 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 		if opts.OnIteration != nil && !opts.OnIteration(res.Iters, res.RelError[len(res.RelError)-1]) {
 			break
 		}
+	}
+	if res.CoreP == nil {
+		// Resumed at or past MaxIters: rebuild the core for the restored
+		// factor.
+		yp, err := kernels.S3TTMcSymProp(x, u, kopts)
+		if err != nil {
+			return nil, rs.wrapKernelErr(u, err)
+		}
+		res.CoreP = linalg.MulTN(u, yp)
 	}
 	res.U = u
 	return res, nil

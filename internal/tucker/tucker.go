@@ -6,12 +6,14 @@
 package tucker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
+	"github.com/symprop/symprop/internal/checkpoint"
 	"github.com/symprop/symprop/internal/css"
 	"github.com/symprop/symprop/internal/dense"
 	"github.com/symprop/symprop/internal/kernels"
@@ -62,6 +64,24 @@ type Options struct {
 	// 1-based iteration number and the current relative error; returning
 	// false stops the run early (Result.Converged stays false).
 	OnIteration func(iter int, relErr float64) bool
+	// Ctx, when non-nil, cancels the run cooperatively: the drivers check
+	// it at every iteration boundary and the kernels poll it inside their
+	// worker loops. A canceled run returns a *CanceledError (matching
+	// ErrCanceled and the context's cause) carrying the partial Result,
+	// after writing a final snapshot when checkpointing is enabled.
+	Ctx context.Context
+	// CheckpointPath, when non-empty, enables periodic atomic snapshots of
+	// the iteration state (see internal/checkpoint). A run resumed from the
+	// snapshot reproduces the uninterrupted run's trace bit-for-bit.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot period in iterations; defaults to 10
+	// when CheckpointPath is set.
+	CheckpointEvery int
+	// Resume, when non-nil, restores a snapshot instead of initializing:
+	// the run continues from the stored iteration with the stored factor
+	// and traces. The snapshot's algorithm and fingerprint must match this
+	// run (checkpoint.ErrMismatch otherwise).
+	Resume *checkpoint.State
 }
 
 func (o *Options) normalize(x *spsym.Tensor) error {
@@ -76,6 +96,9 @@ func (o *Options) normalize(x *spsym.Tensor) error {
 	}
 	if o.U0 != nil && (o.U0.Rows != x.Dim || o.U0.Cols != o.Rank) {
 		return fmt.Errorf("tucker: U0 is %dx%d, want %dx%d", o.U0.Rows, o.U0.Cols, x.Dim, o.Rank)
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 10
 	}
 	return nil
 }
@@ -116,6 +139,9 @@ type Result struct {
 	Converged bool
 	// Phases is the wall-time breakdown.
 	Phases Phases
+	// Health reports what the numeric-health sentinels observed
+	// (resilience.go); all-zero for a clean run.
+	Health Health
 }
 
 // FinalRelError returns the last entry of the relative-error trace.
@@ -186,11 +212,15 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 	var cache css.Cache
 	var pool kernels.WorkspacePool
 	var scheds kernels.ScheduleCache
-	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers, Scheduling: opts.Scheduling,
-		PlanCache: &cache, Pool: &pool, Schedules: &scheds}
+	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
+		Scheduling: opts.Scheduling, PlanCache: &cache, Pool: &pool, Schedules: &scheds}
+	rs := newRun("hooi", x, &opts, res, &kopts)
+	ttmc := func(f *linalg.Matrix) (*linalg.Matrix, error) {
+		return kernels.S3TTMcSymProp(x, f, kopts)
+	}
 
 	t0 := time.Now()
-	u, err := initFactor(x, &opts)
+	u, startIt, err := rs.start(func() (*linalg.Matrix, error) { return initFactor(x, &opts) })
 	if err != nil {
 		return nil, err
 	}
@@ -200,17 +230,26 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 	p := kernels.PermCounts(x.Order-1, r)
 	res.P = p
 
-	for it := 0; it < opts.MaxIters; it++ {
+	for it := startIt; it < opts.MaxIters; it++ {
+		if err := rs.beginIteration(it, u); err != nil {
+			return nil, err
+		}
 		t := time.Now()
-		yp, err := kernels.S3TTMcSymProp(x, u, kopts)
+		yp, uUsed, err := rs.healthyTTMc(it, u, ttmc)
 		if err != nil {
 			return nil, err
 		}
+		u = uUsed
 		res.Phases.TTMc += time.Since(t)
 
 		t = time.Now()
-		u, err = leadingLeftSingular(yp, x.Order, r, opts.Guard)
+		uNew, err := leadingLeftSingular(yp, x.Order, r, opts.Guard)
 		if err != nil {
+			// No degradation retry here: the dominant reservation is the
+			// full I x R^{N-1} unfolding, which no worker count shrinks.
+			return nil, rs.wrapKernelErr(u, err)
+		}
+		if u, err = rs.healthyFactor(it, uNew); err != nil {
 			return nil, err
 		}
 		res.Phases.SVD += time.Since(t)
@@ -219,9 +258,13 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.CoreP = linalg.MulTN(u, yp) // C_p(1) = Uᵀ·Y_p(1)
 		coreNorm2 := weightedNorm2(res.CoreP, p)
 		recordObjective(res, res.NormX2, coreNorm2)
+		rs.observeObjective(it)
 		res.Phases.Core += time.Since(t)
 
 		res.Iters = it + 1
+		if err := rs.maybeCheckpoint(u); err != nil {
+			return nil, err
+		}
 		if converged(res, opts.Tol) {
 			res.Converged = true
 			break
@@ -229,6 +272,16 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 		if opts.OnIteration != nil && !opts.OnIteration(res.Iters, res.RelError[len(res.RelError)-1]) {
 			break
 		}
+	}
+	if res.CoreP == nil {
+		// Resumed at or past MaxIters: the loop never ran, so rebuild the
+		// core for the restored factor.
+		yp, uUsed, err := rs.healthyTTMc(res.Iters, u, ttmc)
+		if err != nil {
+			return nil, err
+		}
+		u = uUsed
+		res.CoreP = linalg.MulTN(u, yp)
 	}
 	res.U = u
 	return res, nil
@@ -247,59 +300,94 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 	var cache css.Cache
 	var pool kernels.WorkspacePool
 	var scheds kernels.ScheduleCache
-	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers, Scheduling: opts.Scheduling,
-		PlanCache: &cache, Pool: &pool, Schedules: &scheds}
+	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
+		Scheduling: opts.Scheduling, PlanCache: &cache, Pool: &pool, Schedules: &scheds}
+	rs := newRun("hoqri", x, &opts, res, &kopts)
+	ttmc := func(f *linalg.Matrix) (*linalg.Matrix, error) {
+		return kernels.S3TTMcSymProp(x, f, kopts)
+	}
 
 	t0 := time.Now()
-	u, err := initFactor(x, &opts)
+	u, startIt, err := rs.start(func() (*linalg.Matrix, error) { return initFactor(x, &opts) })
 	if err != nil {
 		return nil, err
 	}
 	res.Phases.Other += time.Since(t0)
 
-	for it := 0; it < opts.MaxIters; it++ {
+	p := kernels.PermCounts(x.Order-1, opts.Rank)
+	res.P = p
+	// coreConsistent tracks whether res.CoreP matches the current u. The
+	// core is recorded from the pre-update factor each sweep, so a run that
+	// stops before the QR update (convergence, OnIteration) already holds a
+	// consistent core and skips the final kernel pass entirely.
+	coreConsistent := false
+
+	for it := startIt; it < opts.MaxIters; it++ {
+		if err := rs.beginIteration(it, u); err != nil {
+			return nil, err
+		}
 		t := time.Now()
-		yp, err := kernels.S3TTMcSymProp(x, u, kopts)
+		yp, uUsed, err := rs.healthyTTMc(it, u, ttmc)
 		if err != nil {
 			return nil, err
 		}
+		u = uUsed
 		res.Phases.TTMc += time.Since(t)
 
-		// Times-core: C_p = Uᵀ·Y_p, A = Y_p·diag(p)·C_pᵀ (Algorithm 2).
+		// Times-core, first half: C_p = Uᵀ·Y_p (Algorithm 2).
 		t = time.Now()
-		p := kernels.PermCounts(x.Order-1, opts.Rank)
 		cp := linalg.MulTN(u, yp)
-		a := linalg.MulNTWeighted(yp, cp, p)
 		res.Phases.TC += time.Since(t)
 
 		t = time.Now()
 		res.CoreP = cp
-		res.P = p
 		coreNorm2 := weightedNorm2(cp, p)
 		recordObjective(res, res.NormX2, coreNorm2)
+		rs.observeObjective(it)
 		res.Phases.Core += time.Since(t)
-
-		t = time.Now()
-		u = linalg.Orthonormalize(a)
-		res.Phases.QR += time.Since(t)
 
 		res.Iters = it + 1
 		if converged(res, opts.Tol) {
 			res.Converged = true
+			coreConsistent = true
 			break
 		}
 		if opts.OnIteration != nil && !opts.OnIteration(res.Iters, res.RelError[len(res.RelError)-1]) {
+			coreConsistent = true
 			break
 		}
+
+		// Times-core, second half: A = Y_p·diag(p)·C_pᵀ, then QR.
+		t = time.Now()
+		a := linalg.MulNTWeighted(yp, cp, p)
+		res.Phases.TC += time.Since(t)
+
+		t = time.Now()
+		if u, err = rs.healthyFactor(it, linalg.Orthonormalize(a)); err != nil {
+			return nil, err
+		}
+		res.Phases.QR += time.Since(t)
+
+		if err := rs.maybeCheckpoint(u); err != nil {
+			return nil, err
+		}
 	}
-	// Recompute the core against the final factor so Result is consistent.
-	t := time.Now()
-	yp, err := kernels.S3TTMcSymProp(x, u, kopts)
-	if err != nil {
-		return nil, err
+	if !coreConsistent {
+		// The loop exhausted MaxIters (or resumed past them), so u was
+		// updated after the last recorded core: recompute against the final
+		// factor, honoring cancellation like any other kernel pass.
+		if err := rs.beginIteration(res.Iters, u); err != nil {
+			return nil, err
+		}
+		t := time.Now()
+		yp, uUsed, err := rs.healthyTTMc(res.Iters, u, ttmc)
+		if err != nil {
+			return nil, err
+		}
+		u = uUsed
+		res.CoreP = linalg.MulTN(u, yp)
+		res.Phases.Core += time.Since(t)
 	}
-	res.CoreP = linalg.MulTN(u, yp)
-	res.Phases.Core += time.Since(t)
 	res.U = u
 	return res, nil
 }

@@ -27,8 +27,9 @@ func HOOICSS(x *spsym.Tensor, opts Options) (*Result, error) {
 	}
 	res := &Result{NormX2: x.NormSquared()}
 	var scheds kernels.ScheduleCache
-	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers,
+	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
 		Scheduling: opts.Scheduling, Schedules: &scheds}
+	rs := newRun("hooi-css", x, &opts, res, &kopts)
 
 	t0 := time.Now()
 	u, err := initFactor(x, &opts)
@@ -42,17 +43,20 @@ func HOOICSS(x *spsym.Tensor, opts Options) (*Result, error) {
 	res.P = p
 
 	for it := 0; it < opts.MaxIters; it++ {
+		if err := rs.beginIteration(it, u); err != nil {
+			return nil, err
+		}
 		t := time.Now()
 		yFull, err := kernels.S3TTMcCSS(x, u, kopts)
 		if err != nil {
-			return nil, err
+			return nil, rs.wrapKernelErr(u, err)
 		}
 		res.Phases.TTMc += time.Since(t)
 
 		t = time.Now()
 		u, err = svdOfFull(yFull, r, opts.Guard)
 		if err != nil {
-			return nil, err
+			return nil, rs.wrapKernelErr(u, err)
 		}
 		res.Phases.SVD += time.Since(t)
 
@@ -156,8 +160,9 @@ func HOQRINary(x *spsym.Tensor, opts Options) (*Result, error) {
 	}
 	res := &Result{NormX2: x.NormSquared()}
 	var scheds kernels.ScheduleCache
-	kopts := kernels.Options{Guard: opts.Guard, Workers: opts.Workers,
+	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
 		Scheduling: opts.Scheduling, Schedules: &scheds}
+	rs := newRun("hoqri-nary", x, &opts, res, &kopts)
 
 	t0 := time.Now()
 	u, err := initFactor(x, &opts)
@@ -168,10 +173,13 @@ func HOQRINary(x *spsym.Tensor, opts Options) (*Result, error) {
 
 	r := opts.Rank
 	for it := 0; it < opts.MaxIters; it++ {
+		if err := rs.beginIteration(it, u); err != nil {
+			return nil, err
+		}
 		t := time.Now()
 		nary, err := kernels.NaryTTMcTC(x, u, kopts)
 		if err != nil {
-			return nil, err
+			return nil, rs.wrapKernelErr(u, err)
 		}
 		res.Phases.TTMc += time.Since(t)
 
@@ -192,10 +200,13 @@ func HOQRINary(x *spsym.Tensor, opts Options) (*Result, error) {
 		}
 	}
 	// Final core against the final factor.
+	if err := rs.beginIteration(res.Iters, u); err != nil {
+		return nil, err
+	}
 	t := time.Now()
 	nary, err := kernels.NaryTTMcTC(x, u, kopts)
 	if err != nil {
-		return nil, err
+		return nil, rs.wrapKernelErr(u, err)
 	}
 	res.CoreP = compactFromFull(nary.CoreFull, x.Order, r)
 	res.Phases.Core += time.Since(t)

@@ -23,9 +23,11 @@
 package symprop
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"github.com/symprop/symprop/internal/checkpoint"
 	"github.com/symprop/symprop/internal/cpd"
 	"github.com/symprop/symprop/internal/hypergraph"
 	"github.com/symprop/symprop/internal/kernels"
@@ -53,6 +55,29 @@ type Result = tucker.Result
 // ErrOutOfMemory is returned when an operation would exceed the configured
 // memory budget; detect it with errors.Is.
 var ErrOutOfMemory = memguard.ErrOutOfMemory
+
+// The resilient-runtime failure taxonomy (DESIGN.md §7). Every abnormal
+// Decompose exit matches exactly one of these with errors.Is.
+var (
+	// ErrCanceled marks a run stopped by Options.Ctx; the concrete error is
+	// a *CanceledError carrying the partial result and checkpoint path.
+	ErrCanceled = tucker.ErrCanceled
+	// ErrBudget marks a run killed by the memory guard after recovery
+	// failed; the chain also matches ErrOutOfMemory.
+	ErrBudget = tucker.ErrBudget
+	// ErrNumericBreakdown marks iterates that stayed non-finite after a
+	// jittered restart.
+	ErrNumericBreakdown = tucker.ErrNumericBreakdown
+	// ErrCheckpointCorrupt marks an unreadable snapshot file.
+	ErrCheckpointCorrupt = checkpoint.ErrCheckpointCorrupt
+	// ErrCheckpointMismatch marks a valid snapshot that belongs to a
+	// different run configuration (tensor, algorithm, rank, workers, seed).
+	ErrCheckpointMismatch = checkpoint.ErrMismatch
+)
+
+// CanceledError is the concrete cancellation error returned by Decompose;
+// see tucker.CanceledError.
+type CanceledError = tucker.CanceledError
 
 // NewTensor returns an empty sparse symmetric tensor of the given order and
 // hypercubical dimension size. Add non-zeros with Append, then call
@@ -125,6 +150,18 @@ type Options struct {
 	MemoryBudget int64
 	// Workers is the kernel parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the run cooperatively; see
+	// tucker.Options.Ctx. A canceled run returns a *CanceledError.
+	Ctx context.Context
+	// CheckpointPath enables periodic resumable snapshots; see
+	// tucker.Options.CheckpointPath.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot period in iterations (default 10).
+	CheckpointEvery int
+	// Resume restores the snapshot at CheckpointPath instead of
+	// initializing; the resumed run's trace is bit-identical to an
+	// uninterrupted one for the same configuration.
+	Resume bool
 }
 
 func (o Options) guard() *memguard.Guard {
@@ -144,14 +181,17 @@ func (o Options) tuckerOptions() tucker.Options {
 		init = tucker.InitHOSVD
 	}
 	return tucker.Options{
-		Rank:     o.Rank,
-		MaxIters: o.MaxIters,
-		Tol:      o.Tol,
-		Init:     init,
-		Seed:     o.Seed,
-		U0:       o.U0,
-		Guard:    o.guard(),
-		Workers:  o.Workers,
+		Rank:            o.Rank,
+		MaxIters:        o.MaxIters,
+		Tol:             o.Tol,
+		Init:            init,
+		Seed:            o.Seed,
+		U0:              o.U0,
+		Guard:           o.guard(),
+		Workers:         o.Workers,
+		Ctx:             o.Ctx,
+		CheckpointPath:  o.CheckpointPath,
+		CheckpointEvery: o.CheckpointEvery,
 	}
 }
 
@@ -160,13 +200,24 @@ func Decompose(x *Tensor, opts Options) (*Result, error) {
 	if err := x.Validate(); err != nil {
 		return nil, fmt.Errorf("symprop: invalid tensor (did you call Canonicalize?): %w", err)
 	}
+	topts := opts.tuckerOptions()
+	if opts.Resume {
+		if opts.CheckpointPath == "" {
+			return nil, fmt.Errorf("symprop: Resume requires CheckpointPath")
+		}
+		state, err := checkpoint.Load(opts.CheckpointPath)
+		if err != nil {
+			return nil, fmt.Errorf("symprop: resume: %w", err)
+		}
+		topts.Resume = state
+	}
 	switch opts.Algorithm {
 	case HOQRI:
-		return tucker.HOQRI(x, opts.tuckerOptions())
+		return tucker.HOQRI(x, topts)
 	case HOOI:
-		return tucker.HOOI(x, opts.tuckerOptions())
+		return tucker.HOOI(x, topts)
 	case HOOIRandomized:
-		return tucker.HOOIRandomized(x, opts.tuckerOptions())
+		return tucker.HOOIRandomized(x, topts)
 	default:
 		return nil, fmt.Errorf("symprop: unknown algorithm %d", opts.Algorithm)
 	}

@@ -2,8 +2,10 @@
 // library packages.
 //
 // SymProp's library layer (internal/dense, internal/kernels,
-// internal/linalg, internal/tucker, internal/spsym and the root symprop
-// package) is long-running server material: a panic that escapes an
+// internal/linalg, internal/tucker, internal/spsym, the resilient-runtime
+// packages internal/checkpoint, internal/faultinject, internal/memguard,
+// and the root symprop package) is long-running server material: a panic
+// that escapes an
 // exported function takes down the whole process. The policy:
 //
 //   - runtime-reachable failures return errors;
@@ -34,6 +36,9 @@ var TargetSuffixes = []string{
 	"internal/linalg",
 	"internal/tucker",
 	"internal/spsym",
+	"internal/checkpoint",
+	"internal/faultinject",
+	"internal/memguard",
 }
 
 // RootPackage applies the policy to the module root package (the public
