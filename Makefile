@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke bench bench-json verify examples reproduce generate clean
+.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke bench bench-json bench-guard verify examples reproduce generate clean
 
 all: build vet lint test
 
@@ -40,7 +40,7 @@ fuzz-smoke:
 fault-matrix:
 	$(GO) test -race -run 'Fault|Cancel|Resilien|Leak|Checkpoint|Resume|Panic|Budget|NaN|Breakdown|Guard' \
 		./internal/kernels/ ./internal/tucker/ ./internal/memguard/ ./cmd/symprop/
-	$(GO) test -race ./internal/faultinject/ ./internal/checkpoint/
+	$(GO) test -race ./internal/exec/ ./internal/faultinject/ ./internal/checkpoint/
 
 # End-to-end SIGINT → checkpoint → resume smoke test through the real CLI
 # signal path (exit status 3, bit-identical resumed trace).
@@ -56,6 +56,11 @@ bench:
 # snapshots pin the perf trajectory PR over PR.
 bench-json:
 	$(GO) run ./tools/benchjson -benchtime=20x
+
+# Compare the two newest committed snapshots and fail on an S3TTMc ns/op
+# regression beyond 10% (see tools/benchguard).
+bench-guard:
+	$(GO) run ./tools/benchguard
 
 # Cross-implementation equivalence gate.
 verify:

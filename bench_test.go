@@ -91,7 +91,7 @@ func BenchmarkFig4Operations(b *testing.B) {
 			}
 			b.Run("SPLATT/"+c.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := splatt.TTMc(u); err != nil {
+					if _, err := splatt.TTMc(u, kernels.Options{}); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -87,7 +87,7 @@ func kernelSet(p Profile, x *spsym.Tensor, rank int, seed int64) [4]Measurement 
 		return out
 	}
 	out[3] = timeOp(reps, func() error {
-		_, err := splatt.TTMc(u)
+		_, err := splatt.TTMc(u, kernels.Options{Guard: guard})
 		return err
 	})
 	return out

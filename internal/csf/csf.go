@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -161,7 +162,12 @@ func (t *Tensor) NumNodes(d int) int { return len(t.FIDs[d]) }
 // exactly as in SPLATT: the contribution of a subtree rooted at depth d is
 // U(i_d,:) ⊗ Σ(children), so each distinct prefix is multiplied once.
 // Roots own disjoint output rows, so workers need no synchronization.
-func (t *Tensor) TTMcMode1(u *linalg.Matrix, guard *memguard.Guard) (*linalg.Matrix, error) {
+//
+// The pass runs as an execution-engine plan ("splatt.ttmc"): cfg supplies
+// the cancellation context, worker count, and persistent pool, and the
+// engine adds context polling (every root: one subtree is the latency
+// bound), panic capture, and fault-injection sites.
+func (t *Tensor) TTMcMode1(u *linalg.Matrix, guard *memguard.Guard, cfg exec.Config) (*linalg.Matrix, error) {
 	if t.Order < 2 {
 		return nil, fmt.Errorf("csf: TTMc needs order >= 2, got %d", t.Order)
 	}
@@ -177,19 +183,34 @@ func (t *Tensor) TTMcMode1(u *linalg.Matrix, guard *memguard.Guard) (*linalg.Mat
 	defer guard.Release(yBytes)
 
 	y := linalg.NewMatrix(t.Dim, int(outCols))
-	roots := len(t.FIDs[0])
-	linalg.ParallelFor(roots, func(lo, hi int) {
-		ws := t.newScratch(r)
-		for root := lo; root < hi; root++ {
-			row := y.Row(int(t.FIDs[0][root]))
-			for c := t.Ptr[0][root]; c < t.Ptr[0][root+1]; c++ {
-				t.accumulate(1, c, u, ws)
-				for i, v := range ws.contrib[1] {
-					row[i] += v
+	err := exec.Run(cfg, exec.Plan{
+		Name:       "splatt.ttmc",
+		Items:      len(t.FIDs[0]),
+		CheckEvery: 1,
+		Scratch: func(w *exec.Worker) error {
+			w.Scratch = t.newScratch(r)
+			return nil
+		},
+		Body: func(w *exec.Worker, lo, hi int) error {
+			ws := w.Scratch.(*scratch)
+			for root := lo; root < hi; root++ {
+				if err := w.Tick(root); err != nil {
+					return err
+				}
+				row := y.Row(int(t.FIDs[0][root]))
+				for c := t.Ptr[0][root]; c < t.Ptr[0][root+1]; c++ {
+					t.accumulate(1, c, u, ws)
+					for i, v := range ws.contrib[1] {
+						row[i] += v
+					}
 				}
 			}
-		}
+			return nil
+		},
 	})
+	if err != nil {
+		return nil, err
+	}
 	return y, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -104,7 +105,7 @@ func TestTTMcMode1AgainstReference(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := tree.TTMcMode1(u, nil)
+		got, err := tree.TTMcMode1(u, nil, exec.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func TestTTMcWithRepeatedIndices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := tree.TTMcMode1(u, nil)
+	got, err := tree.TTMcMode1(u, nil, exec.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestTTMcOutputOOM(t *testing.T) {
 	}
 	// Y(1) is 50 x 10^5 doubles = 40 MB; a 1 MB guard must reject.
 	u := randomFactor(50, 10, 3)
-	if _, err := tree.TTMcMode1(u, memguard.New(1<<20)); !errors.Is(err, memguard.ErrOutOfMemory) {
+	if _, err := tree.TTMcMode1(u, memguard.New(1<<20), exec.Config{}); !errors.Is(err, memguard.ErrOutOfMemory) {
 		t.Errorf("want ErrOutOfMemory, got %v", err)
 	}
 }
@@ -178,7 +179,7 @@ func TestTTMcFactorShapeMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tree.TTMcMode1(linalg.NewMatrix(3, 2), nil); err == nil {
+	if _, err := tree.TTMcMode1(linalg.NewMatrix(3, 2), nil, exec.Config{}); err == nil {
 		t.Error("factor row mismatch should fail")
 	}
 }
@@ -190,7 +191,7 @@ func TestEmptyTensor(t *testing.T) {
 		t.Fatal(err)
 	}
 	u := randomFactor(4, 2, 1)
-	y, err := tree.TTMcMode1(u, nil)
+	y, err := tree.TTMcMode1(u, nil, exec.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestTTMcRejectsOrderOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tree.TTMcMode1(linalg.NewMatrix(4, 2), nil); err == nil {
+	if _, err := tree.TTMcMode1(linalg.NewMatrix(4, 2), nil, exec.Config{}); err == nil {
 		t.Error("order-1 TTMc must fail cleanly")
 	}
 }

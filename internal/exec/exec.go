@@ -1,0 +1,183 @@
+// Package exec is the execution engine behind every parallel kernel in the
+// module. It owns the two things the kernels used to duplicate:
+//
+//   - Worker lifecycle. A Pool is a persistent set of goroutines created
+//     once per decomposition run (tucker.Options.Pool) and reused across
+//     every kernel call of every sweep, so iterative drivers stop paying
+//     goroutine spawn per call. A nil Pool still works — fan-out falls
+//     back to transient goroutines — so one-shot callers need no setup.
+//
+//   - The worker loop contract. Run executes a Plan {items, partitioning,
+//     per-worker scratch, body, finish} and centralizes context polling,
+//     cancel causes, panic capture into ErrWorkerPanic, and the
+//     faultinject worker/output sites. Kernels describe *what* each
+//     worker does; the engine owns *how* workers run.
+//
+// For and Chunks are the bare fan-out primitives underneath Run (no
+// cancellation, no panic capture, no fault sites); linalg's ParallelFor
+// family is a thin shim over them. Kernel packages must not use the bare
+// primitives for kernel loops — symlint's parafor analyzer enforces that
+// they go through Run.
+//
+// Nesting caveat: a Plan body must not call Run (or For/Chunks) on the
+// same Pool it is running on — with all pool workers busy, the nested
+// fan-out's submitted slots would wait forever. Nested parallelism inside
+// a body should pass a nil pool (transient goroutines) or stay serial.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent set of worker goroutines that plan slots are
+// dispatched onto. The zero of *Pool (nil) is valid everywhere a Pool is
+// accepted and means "no resident workers": fan-out uses transient
+// goroutines instead.
+type Pool struct {
+	tasks  chan func()
+	wg     sync.WaitGroup
+	size   int
+	closed atomic.Bool
+}
+
+// NewPool starts size resident worker goroutines (GOMAXPROCS when
+// size <= 0). The pool must be released with Close when the run ends.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func()), size: size}
+	p.wg.Add(size)
+	for i := 0; i < size; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Size reports the resident worker count; a nil pool has none.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return p.size
+}
+
+// Close stops the resident workers and waits for them to exit. It is
+// idempotent and nil-safe; fan-out through a closed pool degrades to
+// transient goroutines rather than failing.
+func (p *Pool) Close() {
+	if p == nil || p.closed.Swap(true) {
+		return
+	}
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// submit hands task to a resident worker, falling back to a transient
+// goroutine when the pool is nil or closed.
+func (p *Pool) submit(task func()) {
+	if p == nil || p.closed.Load() {
+		go task()
+		return
+	}
+	p.tasks <- task
+}
+
+// dispatch fans task out across n slots and joins them. Slot 0 runs on the
+// calling goroutine — the caller is itself a worker — so a pool sized to
+// the worker count leaves one resident worker free for concurrent callers.
+func (p *Pool) dispatch(n int, task func(slot int)) {
+	if n <= 1 {
+		task(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for slot := 1; slot < n; slot++ {
+		s := slot
+		p.submit(func() {
+			defer wg.Done()
+			task(s)
+		})
+	}
+	task(0)
+	wg.Wait()
+}
+
+// ChunkRange returns worker w's half-open share of [0, n) under the
+// balanced static split: every worker gets n/workers items and the first
+// n%workers workers get one extra.
+func ChunkRange(n, workers, w int) (lo, hi int) {
+	base, rem := n/workers, n%workers
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// For is the bare static fan-out primitive: body(lo, hi) over a balanced
+// contiguous split of [0, n) across workers (GOMAXPROCS when workers <= 0),
+// inline on the caller when one worker suffices. It carries no
+// cancellation, panic capture, or fault sites — kernel loops use Run.
+func For(p *Pool, n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	p.dispatch(workers, func(w int) {
+		lo, hi := ChunkRange(n, workers, w)
+		body(lo, hi)
+	})
+}
+
+// Chunks is the bare dynamic fan-out primitive: workers claim fixed-size
+// chunks of [0, n) off a shared atomic cursor until the range is drained,
+// which load-balances irregular per-item cost at the price of a
+// non-deterministic item→worker assignment. chunk <= 0 selects
+// DefaultChunk. Like For it carries no resilience plumbing.
+func Chunks(p *Pool, n, workers, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if c := (n + chunk - 1) / chunk; workers > c {
+		workers = c
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var cursor atomic.Int64
+	p.dispatch(workers, func(int) {
+		for {
+			lo := int(cursor.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			body(lo, min(lo+chunk, n))
+		}
+	})
+}

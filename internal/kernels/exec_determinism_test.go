@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/symprop/symprop/internal/exec"
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// dyadicCase builds a fixture whose arithmetic is exact in float64: tensor
+// values are small integers and factor entries are dyadic rationals k/8, so
+// every kernel sum is an exact multiple of a power of two well inside the
+// 53-bit mantissa. With exact arithmetic, any result difference across
+// worker counts or scheduling modes is a real assignment bug, not rounding
+// — which is what lets the determinism matrix demand bit identity.
+func dyadicCase(t *testing.T, order, dim, nnz, r int, seed int64) (*spsym.Tensor, *linalg.Matrix) {
+	t.Helper()
+	x, u := randomCase(t, order, dim, nnz, r, seed)
+	for i := range x.Values {
+		x.Values[i] = float64(1 + i%5)
+	}
+	for i := range u.Data {
+		u.Data[i] = float64((i*7)%17-8) / 8
+	}
+	return x, u
+}
+
+// TestKernelDeterminismMatrix checks bit-identical kernel output across the
+// full execution matrix the engine is supposed to make irrelevant:
+// workers ∈ {1, 2, 7} × scheduling ∈ {owner-computes, striped-locks} ×
+// pool ∈ {fresh transient, persistent}, on two fixture tensors. The
+// reference is the serial owner-computes run with no pool.
+func TestKernelDeterminismMatrix(t *testing.T) {
+	kernels := []struct {
+		name string
+		run  func(*spsym.Tensor, *linalg.Matrix, Options) (*linalg.Matrix, error)
+	}{
+		{"symprop", S3TTMcSymProp},
+		{"ucoo", S3TTMcUCOO},
+		{"nary", func(x *spsym.Tensor, u *linalg.Matrix, o Options) (*linalg.Matrix, error) {
+			res, err := NaryTTMcTC(x, u, o)
+			if err != nil {
+				return nil, err
+			}
+			return res.A, nil
+		}},
+	}
+	fixtures := []struct {
+		name string
+		x    *spsym.Tensor
+		u    *linalg.Matrix
+	}{}
+	{
+		x, u := dyadicCase(t, 3, 48, 900, 3, 71)
+		fixtures = append(fixtures, struct {
+			name string
+			x    *spsym.Tensor
+			u    *linalg.Matrix
+		}{"order3", x, u})
+	}
+	{
+		x, u := dyadicCase(t, 4, 24, 400, 3, 72)
+		fixtures = append(fixtures, struct {
+			name string
+			x    *spsym.Tensor
+			u    *linalg.Matrix
+		}{"order4", x, u})
+	}
+
+	for _, fx := range fixtures {
+		for _, k := range kernels {
+			ref, err := k.run(fx.x, fx.u, Options{Workers: 1, Scheduling: SchedOwnerComputes})
+			if err != nil {
+				t.Fatalf("%s/%s reference: %v", fx.name, k.name, err)
+			}
+			for _, workers := range []int{1, 2, 7} {
+				for _, mode := range []Scheduling{SchedOwnerComputes, SchedStripedLocks} {
+					for _, pooled := range []bool{false, true} {
+						name := fmt.Sprintf("%s/%s/workers=%d/%s/pooled=%v", fx.name, k.name, workers, mode, pooled)
+						t.Run(name, func(t *testing.T) {
+							var pool *exec.Pool
+							if pooled {
+								pool = exec.NewPool(workers)
+								defer pool.Close()
+							}
+							got, err := k.run(fx.x, fx.u, Options{
+								Workers: workers, Scheduling: mode, Exec: pool,
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got.Rows != ref.Rows || got.Cols != ref.Cols {
+								t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, ref.Rows, ref.Cols)
+							}
+							for i := range ref.Data {
+								if got.Data[i] != ref.Data[i] {
+									t.Fatalf("bit mismatch at %d: got %x, want %x",
+										i, got.Data[i], ref.Data[i])
+								}
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelDeterminismPooledRepeat reruns the same kernel twice on one
+// persistent pool (the sweep-to-sweep reuse pattern of the Tucker drivers)
+// and demands bit identity between the runs: warm per-slot scratch must not
+// change results.
+func TestKernelDeterminismPooledRepeat(t *testing.T) {
+	x, u := dyadicCase(t, 3, 48, 900, 3, 73)
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	opts := Options{Workers: 4, Scheduling: SchedOwnerComputes, Exec: pool}
+	first, err := S3TTMcSymProp(x, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := S3TTMcSymProp(x, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Data {
+		if first.Data[i] != second.Data[i] {
+			t.Fatalf("pooled rerun differs at %d: %x vs %x", i, first.Data[i], second.Data[i])
+		}
+	}
+}

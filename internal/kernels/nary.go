@@ -1,10 +1,8 @@
 package kernels
 
 import (
-	"sync"
-
 	"github.com/symprop/symprop/internal/dense"
-	"github.com/symprop/symprop/internal/faultinject"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -58,15 +56,17 @@ func NaryTTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*NaryResult, e
 	}
 	defer opts.Guard.Release(wsBytes)
 
-	if canceled(opts.Ctx) {
-		return nil, cancelCause(opts.Ctx)
+	if exec.IsCanceled(opts.Ctx) {
+		return nil, exec.Cause(opts.Ctx)
 	}
 	core := linalg.NewMatrix(r, int(kronLen))
 
 	// Pass 1: accumulate the core from every expanded non-zero. Each worker
-	// fills a private partial over a fixed non-zero range; the reduction
-	// folds partials in worker order so the core — and everything computed
-	// from it in pass 2 — is bitwise-reproducible for a given worker count.
+	// fills a private partial over its static share of the non-zero range
+	// (the engine's Static partition, whose boundaries depend only on
+	// (nnz, workers)); the reduction folds partials in worker order so the
+	// core — and everything computed from it in pass 2 — is
+	// bitwise-reproducible for a given worker count.
 	coreWorkers := workers
 	if coreWorkers > x.NNZ() {
 		coreWorkers = x.NNZ()
@@ -75,47 +75,48 @@ func NaryTTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*NaryResult, e
 		coreWorkers = 1
 	}
 	partials := make([]*linalg.Matrix, coreWorkers)
-	passErrs := make([]error, coreWorkers)
-	linalg.ParallelForWorkers(coreWorkers, coreWorkers, func(wlo, whi int) {
-		for w := wlo; w < whi; w++ {
-			passErrs[w] = func() (err error) {
-				defer capturePanic(&err)
-				lo, hi := chunkRange(x.NNZ(), coreWorkers, w)
-				partial := linalg.NewMatrix(r, int(kronLen))
-				partials[w] = partial
-				kron := make([]float64, kronLen)
-				sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
-				for k := lo; k < hi; k++ {
-					if (k-lo)%cancelCheckEvery == 0 && canceled(opts.Ctx) {
-						return cancelCause(opts.Ctx)
-					}
-					if err := fireWorker(k); err != nil {
-						return err
-					}
-					sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
-					sub.Values = x.Values[k : k+1]
-					sub.ForEachExpanded(func(idx []int32, val float64) {
-						kronRows(u, idx[1:], kron)
-						urow := u.Row(int(idx[0]))
-						for r1 := 0; r1 < r; r1++ {
-							c := val * urow[r1]
-							row := partial.Row(r1)
-							for j, kv := range kron {
-								row[j] += c * kv
-							}
-						}
-					})
+	err := exec.Run(opts.execConfig(), exec.Plan{
+		Name:    "nary.core",
+		Items:   x.NNZ(),
+		Workers: coreWorkers,
+		Scratch: func(w *exec.Worker) error {
+			partial := linalg.NewMatrix(r, int(kronLen))
+			partials[w.Index] = partial
+			w.Scratch = partial
+			return nil
+		},
+		Body: func(wk *exec.Worker, lo, hi int) error {
+			partial := wk.Scratch.(*linalg.Matrix)
+			kron := make([]float64, kronLen)
+			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			for k := lo; k < hi; k++ {
+				if err := wk.Tick(k); err != nil {
+					return err
 				}
-				return nil
-			}()
-		}
+				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
+				sub.Values = x.Values[k : k+1]
+				sub.ForEachExpanded(func(idx []int32, val float64) {
+					kronRows(u, idx[1:], kron)
+					urow := u.Row(int(idx[0]))
+					for r1 := 0; r1 < r; r1++ {
+						c := val * urow[r1]
+						row := partial.Row(r1)
+						for j, kv := range kron {
+							row[j] += c * kv
+						}
+					}
+				})
+			}
+			return nil
+		},
 	})
-	for _, err := range passErrs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	for _, partial := range partials {
+		if partial == nil {
+			continue // zero non-zeros: no worker slot ever started
+		}
 		for i, v := range partial.Data {
 			core.Data[i] += v
 		}
@@ -145,7 +146,7 @@ func NaryTTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*NaryResult, e
 	if err != nil {
 		return nil, err
 	}
-	if err := faultinject.Fire(faultinject.SiteKernelOutput, a); err != nil {
+	if err := exec.FireOutput("nary", a); err != nil {
 		return nil, err
 	}
 	return &NaryResult{A: a, CoreFull: core}, nil
@@ -171,71 +172,59 @@ func naryScatterOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers i
 	sched := opts.Schedules.get(x, workers)
 	workers = sched.workers
 	spills := newSpillSet(opts.Schedules, workers, a.Rows, a.Cols)
-	errs := make([]error, workers)
-	ctx := opts.Ctx
-	linalg.ParallelForWorkers(workers, workers, func(lo, hi int) {
-		for w := lo; w < hi; w++ {
-			errs[w] = func() (err error) {
-				defer capturePanic(&err)
-				kron := make([]float64, core.Cols)
-				contrib := make([]float64, a.Cols)
-				rowLo, rowHi := sched.ownedRows(w)
-				spill := spills.buffer(w)
-				sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
-				for i, k32 := range sched.bin(w) {
-					if i%cancelCheckEvery == 0 && canceled(ctx) {
-						return cancelCause(ctx)
-					}
-					k := int(k32)
-					if err := fireWorker(k); err != nil {
-						return err
-					}
-					sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
-					sub.Values = x.Values[k : k+1]
-					sub.ForEachExpanded(func(idx []int32, val float64) {
-						kronRows(u, idx[1:], kron)
-						naryContrib(core, kron, val, contrib)
-						row := int(idx[0])
-						if row >= rowLo && row < rowHi {
-							dense.AxpyCompact(1, contrib, a.Row(row))
-						} else {
-							spill.add(row, 1, contrib)
-						}
-					})
+	err := exec.Run(opts.execConfig(), exec.Plan{
+		Name:      "nary.scatter.owner",
+		Partition: exec.PerWorker,
+		Workers:   workers,
+		Body: func(wk *exec.Worker, w, _ int) error {
+			kron := make([]float64, core.Cols)
+			contrib := make([]float64, a.Cols)
+			rowLo, rowHi := sched.ownedRows(w)
+			spill := spills.buffer(w)
+			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			for _, k32 := range sched.bin(w) {
+				k := int(k32)
+				if err := wk.Tick(k); err != nil {
+					return err
 				}
-				return nil
-			}()
-		}
+				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
+				sub.Values = x.Values[k : k+1]
+				sub.ForEachExpanded(func(idx []int32, val float64) {
+					kronRows(u, idx[1:], kron)
+					naryContrib(core, kron, val, contrib)
+					row := int(idx[0])
+					if row >= rowLo && row < rowHi {
+						dense.AxpyCompact(1, contrib, a.Row(row))
+					} else {
+						spill.add(row, 1, contrib)
+					}
+				})
+			}
+			return nil
+		},
 	})
-	for _, err := range errs {
-		if err != nil {
-			// Dirty spill buffers go to the GC, not the pool (see
-			// runLatticeOwner).
-			return err
-		}
+	if err != nil {
+		// Dirty spill buffers go to the GC, not the pool (see
+		// runLatticeOwner).
+		return err
 	}
-	spills.reduceInto(a, workers, opts.Schedules)
-	return nil
+	return spills.reduceInto(a, workers, opts.Schedules, opts.Exec)
 }
 
 // naryScatterStriped is the striped-lock ablation baseline of pass 2.
 func naryScatterStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int,
 	core, a *linalg.Matrix) error {
 	var locks rowLocks
-	var firstErr error
-	var errMu sync.Mutex
-	ctx := opts.Ctx
-	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
-		if err := func() (err error) {
-			defer capturePanic(&err)
+	return exec.Run(opts.execConfig(), exec.Plan{
+		Name:    "nary.scatter.striped",
+		Items:   x.NNZ(),
+		Workers: workers,
+		Body: func(wk *exec.Worker, lo, hi int) error {
 			kron := make([]float64, core.Cols)
 			contrib := make([]float64, a.Cols)
 			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
 			for k := lo; k < hi; k++ {
-				if (k-lo)%cancelCheckEvery == 0 && canceled(ctx) {
-					return cancelCause(ctx)
-				}
-				if err := fireWorker(k); err != nil {
+				if err := wk.Tick(k); err != nil {
 					return err
 				}
 				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
@@ -250,15 +239,8 @@ func naryScatterStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers
 				})
 			}
 			return nil
-		}(); err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-		}
+		},
 	})
-	return firstErr
 }
 
 // kronRows writes the Kronecker product of the U rows selected by idx into

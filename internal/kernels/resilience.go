@@ -1,94 +1,18 @@
 package kernels
 
-// This file is the kernels' half of the resilient-runtime layer (DESIGN.md
-// §7): cooperative cancellation inside the worker fan-out and conversion of
-// worker panics into typed errors.
-//
-// Cancellation is cooperative and cheap: every worker loop polls its
-// context once per cancelCheckEvery processed non-zeros (a non-blocking
-// channel read), so a cancel or deadline stops a kernel within a bounded
-// amount of per-worker work instead of after the full sweep. The fan-out
-// helpers in internal/linalg always join their goroutines (WaitGroup), so a
-// canceled kernel returns with zero leaked goroutines; the partially
-// written output buffer is discarded by the caller along with the error.
-//
-// A panic inside a worker goroutine would otherwise kill the whole process
-// (goroutine panics cannot be recovered by the spawner). Every worker body
-// therefore runs under capturePanic, which converts the panic into a
-// *WorkerPanicError carrying the panic value and stack, surfaced through
-// the kernel's normal error path.
+// The resilient-runtime layer (DESIGN.md §7) moved into the execution
+// engine: internal/exec owns context polling, cancel causes, worker-panic
+// capture, and the faultinject worker/output sites, applied uniformly to
+// every kernel that runs as an exec.Run plan. This file keeps the kernels'
+// public error surface stable — callers keep matching kernels.ErrWorkerPanic
+// and unwrapping *kernels.WorkerPanicError exactly as before the refactor.
 
-import (
-	"context"
-	"errors"
-	"fmt"
-	"runtime/debug"
-
-	"github.com/symprop/symprop/internal/faultinject"
-)
+import "github.com/symprop/symprop/internal/exec"
 
 // ErrWorkerPanic marks a kernel worker goroutine that panicked and was
 // recovered. Detect it with errors.Is; the concrete *WorkerPanicError
-// (errors.As) carries the panic value and stack trace.
-var ErrWorkerPanic = errors.New("kernels: worker panicked")
+// (errors.As) carries the plan name, panic value, and stack trace.
+var ErrWorkerPanic = exec.ErrWorkerPanic
 
 // WorkerPanicError wraps a recovered worker panic.
-type WorkerPanicError struct {
-	// Value is the value passed to panic.
-	Value any
-	// Stack is the worker goroutine's stack at the panic site.
-	Stack []byte
-}
-
-func (e *WorkerPanicError) Error() string {
-	return fmt.Sprintf("kernels: worker panicked: %v", e.Value)
-}
-
-// Is reports true for ErrWorkerPanic so errors.Is works without exposing
-// the concrete type.
-func (e *WorkerPanicError) Is(target error) bool { return target == ErrWorkerPanic }
-
-// capturePanic converts a panic in the enclosing function into a
-// *WorkerPanicError stored at errp, leaving an already-recorded error
-// alone. Use as: defer capturePanic(&errs[w]).
-func capturePanic(errp *error) {
-	if r := recover(); r != nil {
-		if *errp == nil {
-			*errp = &WorkerPanicError{Value: r, Stack: debug.Stack()}
-		}
-	}
-}
-
-// cancelCheckEvery is how many non-zeros a worker processes between context
-// polls. Small enough that cancellation latency is dominated by a single
-// lattice evaluation, large enough that the poll never shows on a profile.
-const cancelCheckEvery = 64
-
-// canceled is a non-blocking context poll.
-func canceled(ctx context.Context) bool {
-	if ctx == nil {
-		return false
-	}
-	select {
-	case <-ctx.Done():
-		return true
-	default:
-		return false
-	}
-}
-
-// cancelCause returns the error a canceled kernel surfaces: the context's
-// cause when set (context.Cause covers both plain cancel and deadline).
-func cancelCause(ctx context.Context) error {
-	if err := context.Cause(ctx); err != nil {
-		return err
-	}
-	return ctx.Err()
-}
-
-// fireWorker is the per-non-zero fault-injection site shared by every
-// worker loop; the non-zero index is the payload. Disarmed cost: one
-// atomic load.
-func fireWorker(k int) error {
-	return faultinject.Fire(faultinject.SiteKernelWorker, k)
-}
+type WorkerPanicError = exec.PanicError

@@ -65,6 +65,14 @@ func resilienceKernels() []struct {
 			_, err := NaryTTMcTC(x, u, o)
 			return err
 		}},
+		{"splatt", func(x *spsym.Tensor, u *linalg.Matrix, o Options) error {
+			_, err := TTMcSPLATT(x, u, o)
+			return err
+		}},
+		{"ttmctc", func(x *spsym.Tensor, u *linalg.Matrix, o Options) error {
+			_, err := S3TTMcTC(x, u, o)
+			return err
+		}},
 	}
 }
 
@@ -228,4 +236,53 @@ func TestKernelResultUnchangedByCancelPlumbing(t *testing.T) {
 			t.Fatalf("output differs at %d: %g vs %g", i, plain.Data[i], withCtx.Data[i])
 		}
 	}
+}
+
+// TestTTMcTCProductStageFaults targets the two dense product stages of
+// S3TTMcTC specifically, via their plan-scoped fault sites: the sparse
+// S³TTMc pass completes cleanly, then the injected fault must surface from
+// the matmul plan itself — an error from ttmctc.cp, a typed panic from
+// ttmctc.a naming its plan.
+func TestTTMcTCProductStageFaults(t *testing.T) {
+	x, u := randomCase(t, 3, 40, 3000, 3, 68)
+
+	t.Run("cp-error", func(t *testing.T) {
+		checkGoroutines(t)
+		injected := errors.New("injected cp-stage error")
+		disarm := faultinject.Arm(faultinject.PlanWorkerSite("ttmctc.cp"),
+			faultinject.OnHit(2, func(any) error { return injected }))
+		defer disarm()
+		if _, err := S3TTMcTC(x, u, Options{Workers: 2}); !errors.Is(err, injected) {
+			t.Fatalf("got %v, want the injected error", err)
+		}
+	})
+
+	t.Run("a-panic", func(t *testing.T) {
+		checkGoroutines(t)
+		disarm := faultinject.Arm(faultinject.PlanWorkerSite("ttmctc.a"),
+			faultinject.OnHit(1, func(any) error { panic("injected a-stage crash") }))
+		defer disarm()
+		_, err := S3TTMcTC(x, u, Options{Workers: 2})
+		var wp *WorkerPanicError
+		if !errors.As(err, &wp) {
+			t.Fatalf("got %v, want *WorkerPanicError", err)
+		}
+		if wp.Plan != "ttmctc.a" {
+			t.Errorf("panic attributed to plan %q, want ttmctc.a", wp.Plan)
+		}
+	})
+
+	t.Run("cp-cancel", func(t *testing.T) {
+		checkGoroutines(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		disarm := faultinject.Arm(faultinject.PlanWorkerSite("ttmctc.cp"),
+			faultinject.OnHit(1, func(any) error { cancel(); return nil }))
+		defer disarm()
+		// With CheckEvery=1 the very next tick of either matmul stage
+		// observes the canceled context.
+		if _, err := S3TTMcTC(x, u, Options{Ctx: ctx, Workers: 2}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	})
 }

@@ -22,11 +22,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"github.com/symprop/symprop/internal/css"
 	"github.com/symprop/symprop/internal/dense"
-	"github.com/symprop/symprop/internal/faultinject"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -54,9 +53,9 @@ const (
 
 // Options configures kernel execution.
 type Options struct {
-	// Ctx, when non-nil, cancels in-flight kernels cooperatively: worker
-	// loops poll it every cancelCheckEvery non-zeros and the kernel returns
-	// the context's cause (resilience.go). A nil context never cancels.
+	// Ctx, when non-nil, cancels in-flight kernels cooperatively: the
+	// execution engine polls it every exec.DefaultCheckEvery items and the
+	// kernel returns the context's cause. A nil context never cancels.
 	Ctx context.Context
 	// Guard bounds memory; nil disables the budget.
 	Guard *memguard.Guard
@@ -85,6 +84,11 @@ type Options struct {
 	// Tucker iterations), the scheduling analog of PlanCache. nil rebuilds
 	// the schedule per call.
 	Schedules *ScheduleCache
+	// Exec is the persistent execution-engine worker pool kernel plans are
+	// dispatched on (created once per decomposition run by the Tucker
+	// drivers and shared across every sweep). nil runs each plan on
+	// transient goroutines — correct, but without cross-call worker reuse.
+	Exec *exec.Pool
 }
 
 func (o Options) workers() int {
@@ -92,6 +96,11 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// execConfig bundles the engine inputs of one kernel call.
+func (o Options) execConfig() exec.Config {
+	return exec.Config{Ctx: o.Ctx, Workers: o.workers(), Pool: o.Exec}
 }
 
 func (o Options) cache() *css.Cache {
@@ -254,10 +263,10 @@ func fullOuterAccum(dst, src, u []float64) {
 const latticeChunk = 64
 
 // latticeState is the per-worker mutable state of one runLattice call: the
-// lattice workspace plus the optional cross-non-zero K cache. The striped
-// path recycles states through a free list (linalg.ParallelChunks hands
-// chunks to whichever worker is idle, so states cannot be goroutine-local);
-// the owner path holds one per owner.
+// lattice workspace plus the optional cross-non-zero K cache. Both lattice
+// plans install one per worker slot via the plan's Scratch hook and fold
+// its stats back in Finish; the underlying buffers recycle across calls
+// through the WorkspacePool.
 type latticeState struct {
 	ws  *workspace
 	nzc *nzCache
@@ -327,8 +336,10 @@ func runLattice(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool, y
 	if workers < 1 {
 		workers = 1
 	}
-	if canceled(opts.Ctx) {
-		return cancelCause(opts.Ctx)
+	// Cheap early exit before the schedule is built or spill bytes are
+	// reserved; exec.Run re-checks before spawning workers.
+	if exec.IsCanceled(opts.Ctx) {
+		return exec.Cause(opts.Ctx)
 	}
 	mode, release, err := resolveScheduling(opts, y.Rows, y.Cols, workers)
 	if err != nil {
@@ -341,132 +352,97 @@ func runLattice(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool, y
 	return runLatticeStriped(x, u, opts, compact, cache, workers, y)
 }
 
+// latticeScratch installs a fresh per-worker lattice state (warm buffers
+// via Options.Pool) and latticeFinish returns it — folding cache stats and
+// pooling the workspace — after the plan joins, for every worker that
+// started, success or not.
+func latticeScratch(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool) func(*exec.Worker) error {
+	return func(w *exec.Worker) error {
+		w.Scratch = newLatticeState(x, u, opts, compact)
+		return nil
+	}
+}
+
+func latticeFinish(opts Options) func(*exec.Worker) {
+	return func(w *exec.Worker) {
+		if st, ok := w.Scratch.(*latticeState); ok {
+			st.finish(opts)
+		}
+	}
+}
+
 // runLatticeOwner is the owner-computes driver (schedule.go): workers
 // process the non-zeros binned to their row partition, write owned rows
 // directly, spill foreign rows into private buffers, and a deterministic
-// reduction folds the spills into y.
+// reduction folds the spills into y. The engine's PerWorker partition is
+// the explicit owner entry point: Body runs once per owner index.
 func runLatticeOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool,
 	cache *css.Cache, workers int, y *linalg.Matrix) error {
 	sched := opts.Schedules.get(x, workers)
 	workers = sched.workers // clamped to the row count
 	spills := newSpillSet(opts.Schedules, workers, y.Rows, y.Cols)
-	states := make([]*latticeState, workers)
-	errs := make([]error, workers)
-	ctx := opts.Ctx
-	// One chunk of length 1 per worker: the closure parameter is the owner
-	// index, so every slice store below is chunk-derived. Each owner's body
-	// runs under capturePanic so a worker panic surfaces as a typed error
-	// instead of killing the process.
-	linalg.ParallelForWorkers(workers, workers, func(lo, hi int) {
-		for w := lo; w < hi; w++ {
-			errs[w] = func() (err error) {
-				defer capturePanic(&err)
-				st := newLatticeState(x, u, opts, compact)
-				states[w] = st
-				rowLo, rowHi := sched.ownedRows(w)
-				spill := spills.buffer(w)
-				for i, k32 := range sched.bin(w) {
-					if i%cancelCheckEvery == 0 && canceled(ctx) {
-						return cancelCause(ctx)
-					}
-					k := int(k32)
-					if err := fireWorker(k); err != nil {
-						return err
-					}
-					plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
-					if err != nil {
-						return err
-					}
-					topLevel := bufs.levels[len(plan.Levels)-1]
-					val := x.Values[k]
-					for slot, node := range plan.Tops {
-						row := int(values[slot])
-						if row >= rowLo && row < rowHi {
-							dense.AxpyCompact(val, topLevel[node], y.Row(row))
-						} else {
-							spill.add(row, val, topLevel[node])
-						}
+	err := exec.Run(opts.execConfig(), exec.Plan{
+		Name:      "s3ttmc.owner",
+		Partition: exec.PerWorker,
+		Workers:   workers,
+		Scratch:   latticeScratch(x, u, opts, compact),
+		Finish:    latticeFinish(opts),
+		Body: func(wk *exec.Worker, w, _ int) error {
+			st := wk.Scratch.(*latticeState)
+			rowLo, rowHi := sched.ownedRows(w)
+			spill := spills.buffer(w)
+			for _, k32 := range sched.bin(w) {
+				k := int(k32)
+				if err := wk.Tick(k); err != nil {
+					return err
+				}
+				plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
+				if err != nil {
+					return err
+				}
+				topLevel := bufs.levels[len(plan.Levels)-1]
+				val := x.Values[k]
+				for slot, node := range plan.Tops {
+					row := int(values[slot])
+					if row >= rowLo && row < rowHi {
+						dense.AxpyCompact(val, topLevel[node], y.Row(row))
+					} else {
+						spill.add(row, val, topLevel[node])
 					}
 				}
-				return nil
-			}()
-		}
+			}
+			return nil
+		},
 	})
-	for _, st := range states {
-		if st != nil {
-			st.finish(opts)
-		}
+	if err != nil {
+		// The spill buffers may hold partial updates from aborted workers;
+		// skipping reduceInto leaves them to the GC instead of returning
+		// dirty memory to the pool's all-zero free list.
+		return err
 	}
-	for _, err := range errs {
-		if err != nil {
-			// The spill buffers may hold partial updates from aborted
-			// workers; skipping reduceInto leaves them to the GC instead of
-			// returning dirty memory to the pool's all-zero free list.
-			return err
-		}
-	}
-	spills.reduceInto(y, workers, opts.Schedules)
-	return nil
+	return spills.reduceInto(y, workers, opts.Schedules, opts.Exec)
 }
 
 // runLatticeStriped is the historical strategy: dynamic chunks of
-// non-zeros (via linalg.ParallelChunks, which owns the atomic-cursor loop
+// non-zeros (the engine's Chunked partition owns the atomic-cursor loop
 // this function used to hand-roll) with every row update serialized
-// through the striped locks.
+// through the striped locks. Per-worker lattice states are plan scratch,
+// persisting across the chunks a worker claims.
 func runLatticeStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool,
 	cache *css.Cache, workers int, y *linalg.Matrix) error {
 	var locks rowLocks
-	nnz := x.NNZ()
-	ctx := opts.Ctx
-
-	var firstErr error
-	var errMu sync.Mutex
-	var failed atomic.Bool
-	record := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		failed.Store(true)
-	}
-
-	// Free list of per-worker states; at most `workers` are ever live.
-	var stateMu sync.Mutex
-	var free, all []*latticeState
-
-	linalg.ParallelChunks(nnz, workers, latticeChunk, func(lo, hi int) {
-		if failed.Load() {
-			return
-		}
-		if canceled(ctx) {
-			record(cancelCause(ctx))
-			return
-		}
-		// The chunk body runs under capturePanic (LIFO after the free-list
-		// defer, so the state is returned before the panic is converted).
-		if err := func() (err error) {
-			defer capturePanic(&err)
-			stateMu.Lock()
-			var st *latticeState
-			if n := len(free); n > 0 {
-				st = free[n-1]
-				free = free[:n-1]
-				stateMu.Unlock()
-			} else {
-				stateMu.Unlock()
-				st = newLatticeState(x, u, opts, compact)
-				stateMu.Lock()
-				all = append(all, st)
-				stateMu.Unlock()
-			}
-			defer func() {
-				stateMu.Lock()
-				free = append(free, st)
-				stateMu.Unlock()
-			}()
+	return exec.Run(opts.execConfig(), exec.Plan{
+		Name:      "s3ttmc.striped",
+		Items:     x.NNZ(),
+		Partition: exec.Chunked,
+		Chunk:     latticeChunk,
+		Workers:   workers,
+		Scratch:   latticeScratch(x, u, opts, compact),
+		Finish:    latticeFinish(opts),
+		Body: func(wk *exec.Worker, lo, hi int) error {
+			st := wk.Scratch.(*latticeState)
 			for k := lo; k < hi; k++ {
-				if err := fireWorker(k); err != nil {
+				if err := wk.Tick(k); err != nil {
 					return err
 				}
 				plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
@@ -483,14 +459,8 @@ func runLatticeStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact 
 				}
 			}
 			return nil
-		}(); err != nil {
-			record(err)
-		}
+		},
 	})
-	for _, st := range all {
-		st.finish(opts)
-	}
-	return firstErr
 }
 
 // S3TTMcSymProp computes the SymProp S³TTMc (paper §III): the chain product
@@ -520,7 +490,7 @@ func S3TTMcSymProp(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Mat
 	}
 	// Fault-injection point for numeric-health tests: an armed hook may
 	// poison y (e.g. write a NaN) or abort the kernel with an error.
-	if err := faultinject.Fire(faultinject.SiteKernelOutput, y); err != nil {
+	if err := exec.FireOutput("s3ttmc.symprop", y); err != nil {
 		return nil, err
 	}
 	return y, nil
@@ -576,7 +546,7 @@ func S3TTMcCSS(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix,
 	if err := runLattice(x, u, opts, false, y); err != nil {
 		return nil, err
 	}
-	if err := faultinject.Fire(faultinject.SiteKernelOutput, y); err != nil {
+	if err := exec.FireOutput("s3ttmc.css", y); err != nil {
 		return nil, err
 	}
 	return y, nil
@@ -617,7 +587,7 @@ func ExpandCompactColumns(yp *linalg.Matrix, order, r int) *linalg.Matrix {
 		s := dense.SortedCopy(digits)
 		ranks[lin] = dense.Rank(s, r)
 	}
-	linalg.ParallelFor(yp.Rows, func(lo, hi int) {
+	exec.For(nil, yp.Rows, runtime.GOMAXPROCS(0), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := yp.Row(i)
 			dst := out.Row(i)

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -87,20 +88,6 @@ func (s *schedule) ownedRows(w int) (int, int) {
 // bin returns worker w's non-zero indices.
 func (s *schedule) bin(w int) []int32 {
 	return s.nzOrder[s.nzStart[w]:s.nzStart[w+1]]
-}
-
-// chunkRange returns worker w's half-open share of [0, n) under the even
-// split (first n%workers chunks get one extra element). Chunk boundaries
-// depend only on (n, workers, w), which is what lets callers fold
-// per-chunk partials in worker order for bitwise-reproducible reductions.
-func chunkRange(n, workers, w int) (int, int) {
-	base, rem := n/workers, n%workers
-	lo := w*base + min(w, rem)
-	hi := lo + base
-	if w < rem {
-		hi++
-	}
-	return lo, hi
 }
 
 // buildSchedule partitions rows and bins non-zeros for the given worker
@@ -313,36 +300,49 @@ func (s *spillSet) buffer(w int) *spillBuffer {
 	return s.bufs[w]
 }
 
-// reduceInto folds every spill buffer into y and retires the set. Rows are
-// split across the same worker count as the compute phase, and each row adds
-// its spill contributions in worker order, so results are deterministic for
-// a fixed (tensor, workers) configuration. Each spill row is re-zeroed as it
-// is folded and the buffers handed back to c's pool, restoring the all-zero
-// invariant newSpillSet relies on.
-func (s *spillSet) reduceInto(y *linalg.Matrix, workers int, c *ScheduleCache) {
+// reduceInto folds every spill buffer into y and retires the set, running
+// as an engine plan on the same pool as the compute phase. Rows are split
+// statically across the same worker count, and each row adds its spill
+// contributions in worker order, so results are deterministic for a fixed
+// (tensor, workers) configuration regardless of the band split. The plan
+// carries no context on purpose: a reduction either completes or fails
+// (panic), never half-cancels, keeping the spill-zeroing invariant simple.
+// Each spill row is re-zeroed as it is folded and the buffers handed back
+// to c's pool, restoring the all-zero invariant newSpillSet relies on; on
+// failure the buffers are dropped to the GC instead of pooled dirty.
+func (s *spillSet) reduceInto(y *linalg.Matrix, workers int, c *ScheduleCache, pool *exec.Pool) error {
 	if s == nil {
-		return
+		return nil
 	}
-	linalg.ParallelForWorkers(y.Rows, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst := y.Row(i)
-			for _, sp := range s.bufs {
-				if sp.has(i) {
-					src := sp.row(i)
-					dense.AxpyCompact(1, src, dst)
-					for j := range src {
-						src[j] = 0
+	err := exec.Run(exec.Config{Workers: workers, Pool: pool}, exec.Plan{
+		Name:  "schedule.reduce",
+		Items: y.Rows,
+		Body: func(_ *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				dst := y.Row(i)
+				for _, sp := range s.bufs {
+					if sp.has(i) {
+						src := sp.row(i)
+						dense.AxpyCompact(1, src, dst)
+						for j := range src {
+							src[j] = 0
+						}
 					}
 				}
 			}
-		}
+			return nil
+		},
 	})
+	if err != nil {
+		return err
+	}
 	for _, sp := range s.bufs {
 		for i := range sp.touched {
 			sp.touched[i] = 0
 		}
 	}
 	c.putSpill(s.bufs)
+	return nil
 }
 
 // spillBytes is the guard charge of an owner-computes run: one rows x cols

@@ -2,7 +2,9 @@ package kernels
 
 import (
 	"fmt"
+
 	"github.com/symprop/symprop/internal/csf"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -33,10 +35,18 @@ func NewSPLATT(x *spsym.Tensor, guard *memguard.Guard) (*SPLATT, error) {
 	return &SPLATT{tree: tree, guard: guard}, nil
 }
 
-// TTMc runs the mode-1 TTMc over the CSF tree, producing the full unfolded
-// Y(1) of shape I x R^{N-1}.
-func (s *SPLATT) TTMc(u *linalg.Matrix) (*linalg.Matrix, error) {
-	return s.tree.TTMcMode1(u, s.guard)
+// TTMc runs the mode-1 TTMc over the CSF tree under the execution engine
+// (cancellation, panic capture, fault sites — the "splatt.ttmc" plan),
+// producing the full unfolded Y(1) of shape I x R^{N-1}.
+func (s *SPLATT) TTMc(u *linalg.Matrix, opts Options) (*linalg.Matrix, error) {
+	y, err := s.tree.TTMcMode1(u, s.guard, opts.execConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.FireOutput("splatt", y); err != nil {
+		return nil, err
+	}
+	return y, nil
 }
 
 // ExpandedNNZ reports the stored (expanded) non-zero count.
@@ -48,5 +58,5 @@ func TTMcSPLATT(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix
 	if err != nil {
 		return nil, err
 	}
-	return s.TTMc(u)
+	return s.TTMc(u, opts)
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -74,8 +75,46 @@ func S3TTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*TCResult, error
 	}
 	defer opts.Guard.Release(extra)
 
-	cp := linalg.MulTN(u, yp)            // R x S_{N-1,R}
-	p := PermCounts(x.Order-1, r)        // diag(M)
-	a := linalg.MulNTWeighted(yp, cp, p) // I x R
+	// The two dense products run as engine plans over output-row bands
+	// (per-row GEMM results are band-independent, so the engine split
+	// changes no bits): the core multiply gains the same cancellation and
+	// panic capture as the sparse passes.
+	cp := linalg.NewMatrix(r, yp.Cols) // R x S_{N-1,R}
+	if err := runMatmul("ttmctc.cp", opts, cp.Rows, func(lo, hi int) {
+		linalg.MulTNRange(cp, u, yp, lo, hi)
+	}); err != nil {
+		return nil, err
+	}
+	p := PermCounts(x.Order-1, r)      // diag(M)
+	a := linalg.NewMatrix(x.Dim, r)    // I x R
+	if err := runMatmul("ttmctc.a", opts, a.Rows, func(lo, hi int) {
+		linalg.MulNTWeightedRange(a, yp, cp, p, lo, hi)
+	}); err != nil {
+		return nil, err
+	}
 	return &TCResult{A: a, Yp: yp, Cp: cp, P: p}, nil
+}
+
+// matmulBlock is the row granularity at which engine matmul plans poll for
+// cancellation and fire the worker fault sites.
+const matmulBlock = 8
+
+// runMatmul executes one dense product stage as an engine plan: output
+// rows are the items, split statically; each worker ticks once per
+// matmulBlock rows so a cancel lands within one small block of dense work.
+func runMatmul(name string, opts Options, rows int, f func(lo, hi int)) error {
+	return exec.Run(opts.execConfig(), exec.Plan{
+		Name:       name,
+		Items:      rows,
+		CheckEvery: 1,
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for r0 := lo; r0 < hi; r0 += matmulBlock {
+				if err := w.Tick(r0); err != nil {
+					return err
+				}
+				f(r0, min(r0+matmulBlock, hi))
+			}
+			return nil
+		},
+	})
 }

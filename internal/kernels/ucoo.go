@@ -1,10 +1,8 @@
 package kernels
 
 import (
-	"sync"
-
 	"github.com/symprop/symprop/internal/dense"
-	"github.com/symprop/symprop/internal/faultinject"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -41,8 +39,8 @@ func S3TTMcUCOO(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix
 	if nnz == 0 {
 		return y, nil
 	}
-	if canceled(opts.Ctx) {
-		return nil, cancelCause(opts.Ctx)
+	if exec.IsCanceled(opts.Ctx) {
+		return nil, exec.Cause(opts.Ctx)
 	}
 	workers := opts.workers()
 	if workers > nnz {
@@ -61,7 +59,7 @@ func S3TTMcUCOO(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix
 	if err != nil {
 		return nil, err
 	}
-	if err := faultinject.Fire(faultinject.SiteKernelOutput, y); err != nil {
+	if err := exec.FireOutput("ucoo", y); err != nil {
 		return nil, err
 	}
 	return y, nil
@@ -71,72 +69,61 @@ func S3TTMcUCOO(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix
 // of a non-zero emits into the row of its first index, which ranges over
 // the tuple's distinct values — the same emission pattern as the lattice
 // kernels, so the same schedule (bin by leading row, spill the rest)
-// applies.
+// applies. Each owner runs once via the engine's PerWorker partition.
 func ucooOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y *linalg.Matrix) error {
 	sched := opts.Schedules.get(x, workers)
 	workers = sched.workers
 	spills := newSpillSet(opts.Schedules, workers, y.Rows, y.Cols)
-	errs := make([]error, workers)
-	ctx := opts.Ctx
-	linalg.ParallelForWorkers(workers, workers, func(lo, hi int) {
-		for w := lo; w < hi; w++ {
-			errs[w] = func() (err error) {
-				defer capturePanic(&err)
-				kron := make([]float64, y.Cols)
-				rowLo, rowHi := sched.ownedRows(w)
-				spill := spills.buffer(w)
-				sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
-				for i, k32 := range sched.bin(w) {
-					if i%cancelCheckEvery == 0 && canceled(ctx) {
-						return cancelCause(ctx)
-					}
-					k := int(k32)
-					if err := fireWorker(k); err != nil {
-						return err
-					}
-					sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
-					sub.Values = x.Values[k : k+1]
-					sub.ForEachExpanded(func(idx []int32, val float64) {
-						kronRows(u, idx[1:], kron)
-						row := int(idx[0])
-						if row >= rowLo && row < rowHi {
-							dense.AxpyCompact(val, kron, y.Row(row))
-						} else {
-							spill.add(row, val, kron)
-						}
-					})
+	err := exec.Run(opts.execConfig(), exec.Plan{
+		Name:      "ucoo.owner",
+		Partition: exec.PerWorker,
+		Workers:   workers,
+		Body: func(wk *exec.Worker, w, _ int) error {
+			kron := make([]float64, y.Cols)
+			rowLo, rowHi := sched.ownedRows(w)
+			spill := spills.buffer(w)
+			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			for _, k32 := range sched.bin(w) {
+				k := int(k32)
+				if err := wk.Tick(k); err != nil {
+					return err
 				}
-				return nil
-			}()
-		}
+				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
+				sub.Values = x.Values[k : k+1]
+				sub.ForEachExpanded(func(idx []int32, val float64) {
+					kronRows(u, idx[1:], kron)
+					row := int(idx[0])
+					if row >= rowLo && row < rowHi {
+						dense.AxpyCompact(val, kron, y.Row(row))
+					} else {
+						spill.add(row, val, kron)
+					}
+				})
+			}
+			return nil
+		},
 	})
-	for _, err := range errs {
-		if err != nil {
-			// Dirty spill buffers go to the GC, not the pool (see
-			// runLatticeOwner).
-			return err
-		}
+	if err != nil {
+		// Dirty spill buffers go to the GC, not the pool (see
+		// runLatticeOwner).
+		return err
 	}
-	spills.reduceInto(y, workers, opts.Schedules)
-	return nil
+	return spills.reduceInto(y, workers, opts.Schedules, opts.Exec)
 }
 
-// ucooStriped is the striped-lock ablation baseline.
+// ucooStriped is the striped-lock ablation baseline: a static split of the
+// non-zero range with every row update serialized through striped locks.
 func ucooStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y *linalg.Matrix) error {
 	var locks rowLocks
-	var firstErr error
-	var errMu sync.Mutex
-	ctx := opts.Ctx
-	linalg.ParallelForWorkers(x.NNZ(), workers, func(lo, hi int) {
-		if err := func() (err error) {
-			defer capturePanic(&err)
+	return exec.Run(opts.execConfig(), exec.Plan{
+		Name:    "ucoo.striped",
+		Items:   x.NNZ(),
+		Workers: workers,
+		Body: func(wk *exec.Worker, lo, hi int) error {
 			kron := make([]float64, y.Cols)
 			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
 			for k := lo; k < hi; k++ {
-				if (k-lo)%cancelCheckEvery == 0 && canceled(ctx) {
-					return cancelCause(ctx)
-				}
-				if err := fireWorker(k); err != nil {
+				if err := wk.Tick(k); err != nil {
 					return err
 				}
 				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
@@ -150,15 +137,8 @@ func ucooStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y
 				})
 			}
 			return nil
-		}(); err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-		}
+		},
 	})
-	return firstErr
 }
 
 // EstimateUCOOBytes returns the UCOO kernel footprint: full Y(1) plus

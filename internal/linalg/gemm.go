@@ -48,30 +48,40 @@ func MulTN(a, b *Matrix) *Matrix {
 	mustShape(a.Rows == b.Rows, "linalg: MulTN shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	c := NewMatrix(a.Cols, b.Cols)
 	ParallelFor(c.Rows, func(lo, hi int) {
-		for k0 := 0; k0 < a.Rows; k0 += gemmKC {
-			k1 := min(k0+gemmKC, a.Rows)
-			k := k0
-			for ; k+3 < k1; k += 4 {
-				ar0, ar1, ar2, ar3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
-				br0, br1, br2, br3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
-				for i := lo; i < hi; i++ {
-					av0, av1, av2, av3 := ar0[i], ar1[i], ar2[i], ar3[i]
-					if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
-						continue
-					}
-					axpy4(c.Row(i), av0, av1, av2, av3, br0, br1, br2, br3)
-				}
-			}
-			for ; k < k1; k++ {
-				arow := a.Row(k)
-				brow := b.Row(k)
-				for i := lo; i < hi; i++ {
-					axpy1(c.Row(i), arow[i], brow)
-				}
-			}
-		}
+		MulTNRange(c, a, b, lo, hi)
 	})
 	return c
+}
+
+// MulTNRange computes rows [lo, hi) of C = Aᵀ·B into c. Each output row is
+// accumulated with the same K-panel order regardless of the band split, so
+// callers (exec plans, MulTN itself) may re-partition the rows freely
+// without perturbing a single output bit.
+func MulTNRange(c, a, b *Matrix, lo, hi int) {
+	mustShape(a.Rows == b.Rows && c.Rows == a.Cols && c.Cols == b.Cols,
+		"linalg: MulTNRange shape mismatch %dx%d ᵀ· %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	for k0 := 0; k0 < a.Rows; k0 += gemmKC {
+		k1 := min(k0+gemmKC, a.Rows)
+		k := k0
+		for ; k+3 < k1; k += 4 {
+			ar0, ar1, ar2, ar3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+			br0, br1, br2, br3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+			for i := lo; i < hi; i++ {
+				av0, av1, av2, av3 := ar0[i], ar1[i], ar2[i], ar3[i]
+				if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+					continue
+				}
+				axpy4(c.Row(i), av0, av1, av2, av3, br0, br1, br2, br3)
+			}
+		}
+		for ; k < k1; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				axpy1(c.Row(i), arow[i], brow)
+			}
+		}
+	}
 }
 
 // MulNT returns C = A·Bᵀ (C is a.Rows x b.Rows). Both operands stream
@@ -121,36 +131,47 @@ func MulNTWeighted(a, b *Matrix, w []float64) *Matrix {
 		"linalg: MulNTWeighted shape mismatch %dx%d, %dx%d, |w|=%d", a.Rows, a.Cols, b.Rows, b.Cols, len(w))
 	c := NewMatrix(a.Rows, b.Rows)
 	ParallelFor(a.Rows, func(lo, hi int) {
-		i := lo
-		for ; i+3 < hi; i += 4 {
-			ar0, ar1, ar2, ar3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
-			cr0, cr1, cr2, cr3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
-			j := 0
-			for ; j+3 < b.Rows; j += 4 {
-				var acc [16]float64
-				dotW4x4(ar0, ar1, ar2, ar3, w, b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3), &acc)
-				cr0[j], cr0[j+1], cr0[j+2], cr0[j+3] = acc[0], acc[1], acc[2], acc[3]
-				cr1[j], cr1[j+1], cr1[j+2], cr1[j+3] = acc[4], acc[5], acc[6], acc[7]
-				cr2[j], cr2[j+1], cr2[j+2], cr2[j+3] = acc[8], acc[9], acc[10], acc[11]
-				cr3[j], cr3[j+1], cr3[j+2], cr3[j+3] = acc[12], acc[13], acc[14], acc[15]
-			}
-			for ; j < b.Rows; j++ {
-				brow := b.Row(j)
-				cr0[j] = dotW(ar0, w, brow)
-				cr1[j] = dotW(ar1, w, brow)
-				cr2[j] = dotW(ar2, w, brow)
-				cr3[j] = dotW(ar3, w, brow)
-			}
-		}
-		for ; i < hi; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				crow[j] = dotW(arow, w, b.Row(j))
-			}
-		}
+		MulNTWeightedRange(c, a, b, w, lo, hi)
 	})
 	return c
+}
+
+// MulNTWeightedRange computes rows [lo, hi) of C = A·diag(w)·Bᵀ into c.
+// Like MulTNRange, per-row results are independent of the band split (the
+// 4-row tiling restarts at lo, and each dot uses the same per-k
+// association as the scalar reference), so re-banding is bitwise-safe.
+func MulNTWeightedRange(c, a, b *Matrix, w []float64, lo, hi int) {
+	mustShape(a.Cols == b.Cols && len(w) == a.Cols && c.Rows == a.Rows && c.Cols == b.Rows,
+		"linalg: MulNTWeightedRange shape mismatch %dx%d, %dx%d, |w|=%d -> %dx%d",
+		a.Rows, a.Cols, b.Rows, b.Cols, len(w), c.Rows, c.Cols)
+	i := lo
+	for ; i+3 < hi; i += 4 {
+		ar0, ar1, ar2, ar3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+		cr0, cr1, cr2, cr3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+		j := 0
+		for ; j+3 < b.Rows; j += 4 {
+			var acc [16]float64
+			dotW4x4(ar0, ar1, ar2, ar3, w, b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3), &acc)
+			cr0[j], cr0[j+1], cr0[j+2], cr0[j+3] = acc[0], acc[1], acc[2], acc[3]
+			cr1[j], cr1[j+1], cr1[j+2], cr1[j+3] = acc[4], acc[5], acc[6], acc[7]
+			cr2[j], cr2[j+1], cr2[j+2], cr2[j+3] = acc[8], acc[9], acc[10], acc[11]
+			cr3[j], cr3[j+1], cr3[j+2], cr3[j+3] = acc[12], acc[13], acc[14], acc[15]
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Row(j)
+			cr0[j] = dotW(ar0, w, brow)
+			cr1[j] = dotW(ar1, w, brow)
+			cr2[j] = dotW(ar2, w, brow)
+			cr3[j] = dotW(ar3, w, brow)
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			crow[j] = dotW(arow, w, b.Row(j))
+		}
+	}
 }
 
 // GramWeighted returns G = A·diag(w)·Aᵀ exploiting symmetry: only the upper

@@ -2,93 +2,39 @@ package linalg
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"github.com/symprop/symprop/internal/exec"
 )
 
+// The ParallelFor family is a thin shim over the execution engine's bare
+// fan-out primitives (internal/exec). linalg keeps these names because its
+// dense routines (GEMM, QR, CPD) are leaf math with no cancellation or
+// fault-injection surface of their own; kernel loops instead run as
+// exec.Run plans, which own context polling, panic capture, and the
+// faultinject sites. The shims pass a nil pool — transient goroutines —
+// since dense calls are either already inside an engine worker or on
+// driver paths where spawn cost is negligible.
+
 // ParallelFor splits [0, n) into contiguous chunks and runs body(lo, hi) on
-// up to GOMAXPROCS goroutines. It runs inline when n is small enough that
-// goroutine overhead would dominate. Every compute-heavy loop in this module
-// parallelizes through this helper so that the thread-scaling experiments
-// (paper Fig. 6) are controlled by a single knob: runtime.GOMAXPROCS.
+// up to GOMAXPROCS goroutines. Every compute-heavy dense loop in this
+// module parallelizes through this helper so that the thread-scaling
+// experiments (paper Fig. 6) are controlled by a single knob:
+// runtime.GOMAXPROCS.
 func ParallelFor(n int, body func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	ParallelForWorkers(n, workers, body)
+	exec.For(nil, n, runtime.GOMAXPROCS(0), body)
 }
 
 // ParallelForWorkers is ParallelFor with an explicit worker count, used by
 // the scalability benchmarks to sweep 1..NumCPU.
 func ParallelForWorkers(n, workers int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		go func(lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				body(lo, hi)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	exec.For(nil, n, workers, body)
 }
 
 // ParallelChunks runs body over [0, n) with dynamic scheduling: workers
 // repeatedly claim fixed-size contiguous chunks from an atomic cursor until
 // the range is exhausted. Unlike ParallelForWorkers' static split, this
-// balances workloads whose per-item cost varies (e.g. lattice evaluation
-// where diagonal-heavy non-zeros are much cheaper than all-distinct ones) —
-// the goroutine analog of OpenMP's schedule(dynamic, chunk).
+// balances workloads whose per-item cost varies — the goroutine analog of
+// OpenMP's schedule(dynamic, chunk).
 func ParallelChunks(n, workers, chunk int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if chunk < 1 {
-		chunk = 64
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > (n+chunk-1)/chunk {
-		workers = (n + chunk - 1) / chunk
-	}
-	if workers <= 1 {
-		body(0, n)
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	exec.Chunks(nil, n, workers, chunk, body)
 }

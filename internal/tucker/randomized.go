@@ -30,8 +30,10 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 	res := &Result{NormX2: x.NormSquared()}
 	var cache css.Cache
 	var pool kernels.WorkspacePool
+	epool, closePool := opts.execPool()
+	defer closePool()
 	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
-		PlanCache: &cache, Pool: &pool}
+		PlanCache: &cache, Pool: &pool, Exec: epool}
 	rs := newRun("hooi-randomized", x, &opts, res, &kopts)
 
 	t0 := time.Now()

@@ -19,6 +19,7 @@ import (
 	"runtime"
 
 	"github.com/symprop/symprop/internal/checkpoint"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/faultinject"
 	"github.com/symprop/symprop/internal/kernels"
 	"github.com/symprop/symprop/internal/linalg"
@@ -286,14 +287,11 @@ func (rs *runState) runTTMc(u *linalg.Matrix, run func() (*linalg.Matrix, error)
 	return y, nil
 }
 
-// nonFinite returns the index of the first NaN or Inf entry, or -1.
+// nonFinite returns the index of the first NaN or Inf entry, or -1. The
+// scan itself lives in the engine (exec.FirstNonFinite) next to the other
+// output-health mechanisms; the repair policy stays here.
 func nonFinite(m *linalg.Matrix) int {
-	for i, v := range m.Data {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return i
-		}
-	}
-	return -1
+	return exec.FirstNonFinite(m.Data)
 }
 
 // jitterOrthonormal zeroes non-finite entries of u, perturbs every entry

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"github.com/symprop/symprop/internal/checkpoint"
 	"github.com/symprop/symprop/internal/css"
 	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/kernels"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
@@ -82,6 +84,28 @@ type Options struct {
 	// and traces. The snapshot's algorithm and fingerprint must match this
 	// run (checkpoint.ErrMismatch otherwise).
 	Resume *checkpoint.State
+	// Pool is the persistent execution-engine worker pool every kernel
+	// plan of the run is dispatched on. nil (the default) makes the driver
+	// create one sized to the effective worker count and close it when the
+	// run returns; callers running several decompositions back to back can
+	// share one pool across runs by setting it (and own its Close).
+	Pool *exec.Pool
+}
+
+// execPool returns the run's engine pool and its cleanup. A caller-provided
+// pool is used as-is (left open: the caller owns it); otherwise a fresh
+// pool sized to the effective worker count is created and the returned
+// cleanup closes it.
+func (o *Options) execPool() (*exec.Pool, func()) {
+	if o.Pool != nil {
+		return o.Pool, func() {}
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := exec.NewPool(workers)
+	return p, p.Close
 }
 
 func (o *Options) normalize(x *spsym.Tensor) error {
@@ -212,8 +236,11 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 	var cache css.Cache
 	var pool kernels.WorkspacePool
 	var scheds kernels.ScheduleCache
+	epool, closePool := opts.execPool()
+	defer closePool()
 	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
-		Scheduling: opts.Scheduling, PlanCache: &cache, Pool: &pool, Schedules: &scheds}
+		Scheduling: opts.Scheduling, PlanCache: &cache, Pool: &pool, Schedules: &scheds,
+		Exec: epool}
 	rs := newRun("hooi", x, &opts, res, &kopts)
 	ttmc := func(f *linalg.Matrix) (*linalg.Matrix, error) {
 		return kernels.S3TTMcSymProp(x, f, kopts)
@@ -300,8 +327,11 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 	var cache css.Cache
 	var pool kernels.WorkspacePool
 	var scheds kernels.ScheduleCache
+	epool, closePool := opts.execPool()
+	defer closePool()
 	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
-		Scheduling: opts.Scheduling, PlanCache: &cache, Pool: &pool, Schedules: &scheds}
+		Scheduling: opts.Scheduling, PlanCache: &cache, Pool: &pool, Schedules: &scheds,
+		Exec: epool}
 	rs := newRun("hoqri", x, &opts, res, &kopts)
 	ttmc := func(f *linalg.Matrix) (*linalg.Matrix, error) {
 		return kernels.S3TTMcSymProp(x, f, kopts)

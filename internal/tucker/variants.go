@@ -27,8 +27,10 @@ func HOOICSS(x *spsym.Tensor, opts Options) (*Result, error) {
 	}
 	res := &Result{NormX2: x.NormSquared()}
 	var scheds kernels.ScheduleCache
+	epool, closePool := opts.execPool()
+	defer closePool()
 	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
-		Scheduling: opts.Scheduling, Schedules: &scheds}
+		Scheduling: opts.Scheduling, Schedules: &scheds, Exec: epool}
 	rs := newRun("hooi-css", x, &opts, res, &kopts)
 
 	t0 := time.Now()
@@ -160,8 +162,10 @@ func HOQRINary(x *spsym.Tensor, opts Options) (*Result, error) {
 	}
 	res := &Result{NormX2: x.NormSquared()}
 	var scheds kernels.ScheduleCache
+	epool, closePool := opts.execPool()
+	defer closePool()
 	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
-		Scheduling: opts.Scheduling, Schedules: &scheds}
+		Scheduling: opts.Scheduling, Schedules: &scheds, Exec: epool}
 	rs := newRun("hoqri-nary", x, &opts, res, &kopts)
 
 	t0 := time.Now()

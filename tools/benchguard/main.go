@@ -1,0 +1,116 @@
+// Command benchguard compares the two newest committed BENCH_<date>.json
+// snapshots (tools/benchjson output, ordered by file name — the names embed
+// the date, so lexical order is chronological) and fails when any benchmark
+// matching -pattern regressed in ns/op by more than -tol.
+//
+// It is the perf gate behind `make bench-guard` and CI's bench-smoke job:
+// a PR that lands a new snapshot must keep the S³TTMc kernels within
+// tolerance of the previous snapshot. Missing baselines are not an error —
+// with fewer than two snapshots there is nothing to compare, so the guard
+// passes (first snapshot in a fresh clone, or a repo predating snapshots).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type benchmark struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type snapshot struct {
+	Date       string      `json:"date"`
+	NumCPU     int         `json:"num_cpu"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_*.json snapshots")
+	pattern := flag.String("pattern", "S3TTMc", "substring a benchmark name must contain to be guarded")
+	tol := flag.Float64("tol", 0.10, "allowed fractional ns/op regression")
+	flag.Parse()
+
+	paths, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if len(paths) < 2 {
+		fmt.Printf("benchguard: %d snapshot(s) found, nothing to compare\n", len(paths))
+		return
+	}
+	sort.Strings(paths)
+	basePath, headPath := paths[len(paths)-2], paths[len(paths)-1]
+	base, err := load(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := load(headPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if base.NumCPU != head.NumCPU {
+		// ns/op across different core counts is noise, not signal.
+		fmt.Printf("benchguard: cpu count changed (%d -> %d), skipping comparison\n",
+			base.NumCPU, head.NumCPU)
+		return
+	}
+
+	baseline := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b.NsPerOp
+	}
+
+	fmt.Printf("benchguard: %s vs %s (pattern %q, tol %.0f%%)\n",
+		filepath.Base(basePath), filepath.Base(headPath), *pattern, *tol*100)
+	var failed, compared int
+	for _, b := range head.Benchmarks {
+		if !strings.Contains(b.Name, *pattern) {
+			continue
+		}
+		old, ok := baseline[b.Name]
+		if !ok || old <= 0 {
+			fmt.Printf("  new       %-70s %12.0f ns/op\n", b.Name, b.NsPerOp)
+			continue
+		}
+		compared++
+		delta := (b.NsPerOp - old) / old
+		status := "ok"
+		if delta > *tol {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("  %-9s %-70s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			status, b.Name, old, b.NsPerOp, delta*100)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no benchmark matched %q in both snapshots\n", *pattern)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d benchmark(s) regressed beyond %.0f%%\n", failed, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmark(s) within tolerance\n", compared)
+}

@@ -1,11 +1,12 @@
 // Package parafor defines an analyzer for SymProp's parallel closures.
 //
-// All hot-path parallelism funnels through linalg.ParallelFor,
-// ParallelForWorkers and ParallelChunks, whose contract is: the body
-// closure owns the half-open chunk [lo, hi) and may write shared state
-// only at indices derived from it. The analyzer inspects every closure
-// passed to those helpers (and every `go func` literal) for the race
-// classes that contract rules out:
+// All hot-path parallelism funnels through the execution engine
+// (exec.Run plans, and the bare exec.For / exec.Chunks primitives the
+// linalg.ParallelFor* shims wrap), whose contract is: the body closure
+// owns the half-open chunk [lo, hi) and may write shared state only at
+// indices derived from it. The analyzer inspects every closure passed to
+// those helpers, every Body/Scratch callback of an exec.Plan literal, and
+// every `go func` literal for the race classes that contract rules out:
 //
 //   - assignment to a captured variable (racy accumulation — reduce into a
 //     per-chunk local and merge after the parallel region);
@@ -20,6 +21,11 @@
 // Closures that visibly synchronize — calling Lock/RLock on a captured
 // sync mutex — are exempt from the write checks, as are statements
 // annotated with a justified //symlint:nosync directive.
+//
+// The analyzer additionally bans direct linalg.ParallelFor* calls from
+// kernel packages (internal/kernels, internal/csf): kernel loops must run
+// as exec.Run plans so cancellation, panic capture and fault injection
+// stay centralized in the engine.
 package parafor
 
 import (
@@ -37,6 +43,20 @@ import (
 var (
 	TargetFuncs     = map[string]bool{"ParallelFor": true, "ParallelForWorkers": true, "ParallelChunks": true}
 	TargetPkgSuffix = "internal/linalg"
+
+	// EngineFuncs are the execution engine's bare fan-out primitives
+	// (exec.For, exec.Chunks); their body closures obey the same chunk
+	// contract as the linalg shims and get the same checks. Closures in
+	// an exec.Plan literal's Body and Scratch fields are checked too.
+	EngineFuncs     = map[string]bool{"For": true, "Chunks": true}
+	EnginePkgSuffix = "internal/exec"
+	PlanTypeName    = "Plan"
+
+	// KernelPkgSuffixes are packages whose parallel loops must run as
+	// engine plans (exec.Run): a direct call to a linalg.ParallelFor*
+	// shim there bypasses the engine's cancellation, panic capture and
+	// fault sites and is reported.
+	KernelPkgSuffixes = []string{"internal/kernels", "internal/csf"}
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -113,11 +133,20 @@ func (c *checker) walk(n ast.Node, loopVars []types.Object) {
 		}
 		return
 	case *ast.CallExpr:
+		c.checkShimCaller(n)
 		if lit := c.parallelBody(n); lit != nil {
 			c.checkClosure(lit, "parallel body")
 		}
 		for _, child := range append([]ast.Expr{n.Fun}, n.Args...) {
 			c.walk(child, loopVars)
+		}
+		return
+	case *ast.CompositeLit:
+		if c.isPlanLit(n) {
+			c.checkPlanFields(n)
+		}
+		for _, elt := range n.Elts {
+			c.walk(elt, loopVars)
 		}
 		return
 	case *ast.FuncLit:
@@ -131,7 +160,7 @@ func (c *checker) walk(n ast.Node, loopVars []types.Object) {
 			return true
 		}
 		switch child.(type) {
-		case *ast.ForStmt, *ast.RangeStmt, *ast.GoStmt, *ast.CallExpr, *ast.FuncLit:
+		case *ast.ForStmt, *ast.RangeStmt, *ast.GoStmt, *ast.CallExpr, *ast.FuncLit, *ast.CompositeLit:
 			c.walk(child, loopVars)
 			return false
 		}
@@ -139,10 +168,9 @@ func (c *checker) walk(n ast.Node, loopVars []types.Object) {
 	})
 }
 
-// parallelBody returns the closure argument when call is
-// linalg.ParallelFor / ParallelForWorkers / ParallelChunks with a func
-// literal body.
-func (c *checker) parallelBody(call *ast.CallExpr) *ast.FuncLit {
+// callee resolves call's target to its *types.Func, nil when it is not a
+// plain or selector-qualified function reference.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -152,11 +180,25 @@ func (c *checker) parallelBody(call *ast.CallExpr) *ast.FuncLit {
 	default:
 		return nil
 	}
-	fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
-	if !ok || !TargetFuncs[fn.Name()] {
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// parallelBody returns the closure argument when call is one of the
+// linalg.ParallelFor* shims or the engine's bare primitives exec.For /
+// exec.Chunks — in all of them the body closure is the last argument.
+func (c *checker) parallelBody(call *ast.CallExpr) *ast.FuncLit {
+	fn := c.callee(call)
+	if fn == nil {
 		return nil
 	}
-	if pkg := fn.Pkg(); pkg == nil || !lintutil.PathMatches(pkg.Path(), []string{TargetPkgSuffix}) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	shim := TargetFuncs[fn.Name()] && lintutil.PathMatches(pkg.Path(), []string{TargetPkgSuffix})
+	engine := EngineFuncs[fn.Name()] && lintutil.PathMatches(pkg.Path(), []string{EnginePkgSuffix})
+	if !shim && !engine {
 		return nil
 	}
 	if len(call.Args) == 0 {
@@ -164,6 +206,70 @@ func (c *checker) parallelBody(call *ast.CallExpr) *ast.FuncLit {
 	}
 	lit, _ := call.Args[len(call.Args)-1].(*ast.FuncLit)
 	return lit
+}
+
+// checkShimCaller reports direct linalg.ParallelFor* calls from kernel
+// packages: their loops must run as exec.Run plans so cancellation, panic
+// capture and the fault sites stay centralized in the engine.
+func (c *checker) checkShimCaller(call *ast.CallExpr) {
+	if !lintutil.PathMatches(c.pass.Pkg.Path(), KernelPkgSuffixes) {
+		return
+	}
+	fn := c.callee(call)
+	if fn == nil || !TargetFuncs[fn.Name()] {
+		return
+	}
+	if pkg := fn.Pkg(); pkg == nil || !lintutil.PathMatches(pkg.Path(), []string{TargetPkgSuffix}) {
+		return
+	}
+	if _, suppressed := c.directives.Suppressed(c.pass.Fset, call.Pos()); suppressed {
+		return
+	}
+	c.pass.Reportf(call.Pos(),
+		"kernel package calls linalg.%s directly; run the loop as an exec.Run plan so the engine owns cancellation, panic capture and fault sites",
+		fn.Name())
+}
+
+// isPlanLit reports whether lit constructs the engine's Plan type.
+func (c *checker) isPlanLit(lit *ast.CompositeLit) bool {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != PlanTypeName {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && lintutil.PathMatches(pkg.Path(), []string{EnginePkgSuffix})
+}
+
+// checkPlanFields applies the closure checks to an exec.Plan literal's
+// concurrent callbacks: Body (once per chunk per worker) and Scratch (once
+// per worker slot, concurrently with other slots). Finish is exempt — the
+// engine runs it serially on the caller, so writes to captured state there
+// (stats folds, pool returns) are the intended pattern.
+func (c *checker) checkPlanFields(lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fl, ok := kv.Value.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Body":
+			c.checkClosure(fl, "plan body")
+		case "Scratch":
+			c.checkClosure(fl, "plan scratch")
+		}
+	}
 }
 
 // checkLoopCapture reports loop variables referenced (not redeclared) by a

@@ -10,3 +10,11 @@ import (
 func TestParallelClosures(t *testing.T) {
 	analysistest.Run(t, parafor.Analyzer, "testdata/src/parafor", "fixture.example/parafor")
 }
+
+// TestKernelPackageRules checks the engine-era rules from a package whose
+// import path ends in internal/kernels: the linalg shim ban, the exec.For /
+// exec.Chunks closure checks, and the exec.Plan Body/Scratch checks (with
+// the serial Finish hook exempt).
+func TestKernelPackageRules(t *testing.T) {
+	analysistest.Run(t, parafor.Analyzer, "testdata/src/kernels", "fixture.example/internal/kernels")
+}
