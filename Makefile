@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke bench bench-json bench-guard verify examples reproduce generate clean
+.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke obs-smoke bench bench-json bench-guard verify examples reproduce generate clean
 
 all: build vet lint test
 
@@ -46,6 +46,11 @@ fault-matrix:
 # signal path (exit status 3, bit-identical resumed trace).
 resume-smoke:
 	./scripts/resume_smoke.sh
+
+# End-to-end observability smoke test: tiny decomposition with -metrics and
+# -trace, artifacts validated against the schema by tools/obscheck.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # testing.B benchmarks (one family per paper table/figure).
 bench:

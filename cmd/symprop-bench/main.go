@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"runtime/pprof"
 
 	"github.com/symprop/symprop/internal/bench"
+	"github.com/symprop/symprop/internal/obs"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 	sweepFlag := flag.String("sweep", "", "fig5 panel: rank, order, nnz, or dim (default: all four)")
 	outFlag := flag.String("o", "", "write the report to this file instead of stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	metricsOut := flag.String("metrics", "", "write the aggregated per-plan engine counters of every run as JSON to this file")
 	svgDir := flag.String("svgdir", "", "also write sweep/convergence figures as SVG files into this directory")
 	csvDir := flag.String("csvdir", "", "also write every experiment table as CSV into this directory")
 	flag.Usage = usage
@@ -69,6 +72,21 @@ func main() {
 			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *metricsOut != "" {
+		// The global collector catches every engine plan the experiments run,
+		// without threading options through the bench harness.
+		m := obs.New()
+		obs.SetGlobal(m)
+		defer func() {
+			buf, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*metricsOut, append(buf, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	runFig5 := func() error {

@@ -5,12 +5,18 @@
 //	symprop info <tensor.tns>
 //	symprop decompose -rank R [-algo hoqri|hooi] [-iters N] [-tol T]
 //	        [-hosvd] [-seed S] [-workers W] [-out factor.txt]
+//	        [-convergence conv.csv] [-metrics out.json] [-trace trace.jsonl] [-pprof :6060]
 //	        [-checkpoint run.ckpt [-checkpoint-every K] [-resume]] <tensor.tns>
 //	symprop ttmc -rank R [-seed S] <tensor.tns>
 //
 // Tensors use the symmetric text format ("sym <order> <dim> <nnz>" header,
 // then 1-based "i1 ... iN value" lines); hypergraph edge lists can be
 // converted with symprop-gen.
+//
+// Observability (docs/OBSERVABILITY.md): -metrics writes the run's
+// aggregated per-plan engine counters as JSON, -trace streams one JSON
+// line per completed sweep, and -pprof serves net/http/pprof (with
+// plan/phase goroutine labels) and expvar on the given address.
 //
 // SIGINT/SIGTERM cancel a running decomposition cooperatively: the current
 // kernel stops, a final snapshot is written when -checkpoint is set, and
@@ -21,11 +27,14 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +43,7 @@ import (
 	symprop "github.com/symprop/symprop"
 	"github.com/symprop/symprop/internal/dense"
 	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/obs"
 	"github.com/symprop/symprop/internal/spsym"
 )
 
@@ -83,7 +93,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   symprop info <tensor.tns>
   symprop decompose -rank R [-algo hoqri|hooi] [-iters N] [-tol T] [-hosvd] [-seed S] [-workers W]
-          [-out U.txt] [-trace trace.csv] [-checkpoint run.ckpt [-checkpoint-every K] [-resume]] <tensor.tns>
+          [-out U.txt] [-convergence conv.csv] [-metrics out.json] [-trace trace.jsonl] [-pprof :6060]
+          [-checkpoint run.ckpt [-checkpoint-every K] [-resume]] <tensor.tns>
   symprop ttmc -rank R [-seed S] <tensor.tns>
   symprop cp -rank R [-iters N] [-tol T] [-seed S] <tensor.tns>`)
 }
@@ -163,7 +174,10 @@ func runDecompose(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "write the factor matrix U to this file")
-	trace := fs.String("trace", "", "write the per-iteration convergence trace as CSV to this file")
+	convergence := fs.String("convergence", "", "write the per-iteration convergence trace as CSV to this file")
+	metrics := fs.String("metrics", "", "write the aggregated per-plan engine counters as JSON to this file")
+	trace := fs.String("trace", "", "stream one JSON line per completed sweep to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060) with plan/phase goroutine labels")
 	ckpt := fs.String("checkpoint", "", "snapshot the run state to this file periodically and on interrupt")
 	ckptEvery := fs.Int("checkpoint-every", 10, "snapshot every K iterations (with -checkpoint)")
 	resume := fs.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
@@ -179,6 +193,27 @@ func runDecompose(ctx context.Context, args []string) error {
 		Rank: *rank, MaxIters: *iters, Tol: *tol, HOSVDInit: *hosvd, Seed: *seed,
 		Workers: *workers, Ctx: ctx,
 		CheckpointPath: *ckpt, CheckpointEvery: *ckptEvery, Resume: *resume,
+	}
+	if *pprofAddr != "" {
+		m := symprop.NewMetrics()
+		m.EnablePprofLabels()
+		obs.PublishExpvar("symprop", m)
+		opts.Metrics = m
+		go func() {
+			// DefaultServeMux carries /debug/pprof/* (net/http/pprof) and
+			// /debug/vars (expvar, registered by obs).
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "symprop: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *trace != "" {
+		sink, err := symprop.CreateTraceJSONL(*trace)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		opts.TraceSink = sink
 	}
 	switch *algo {
 	case "hoqri":
@@ -211,16 +246,35 @@ func runDecompose(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("factor U written to %s\n", *out)
 	}
-	if *trace != "" {
-		if err := writeTrace(*trace, res); err != nil {
+	if *convergence != "" {
+		if err := writeConvergence(*convergence, res); err != nil {
 			return err
 		}
-		fmt.Printf("convergence trace written to %s\n", *trace)
+		fmt.Printf("convergence trace written to %s\n", *convergence)
+	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, res); err != nil {
+			return err
+		}
+		fmt.Printf("per-plan metrics written to %s\n", *metrics)
+	}
+	if *trace != "" {
+		fmt.Printf("iteration trace streamed to %s (%d events)\n", *trace, len(res.Trace))
 	}
 	return nil
 }
 
-func writeTrace(path string, res *symprop.Result) error {
+// writeMetrics dumps the run's aggregated per-plan engine counters as an
+// indented JSON array.
+func writeMetrics(path string, res *symprop.Result) error {
+	buf, err := json.MarshalIndent(res.PlanMetrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func writeConvergence(path string, res *symprop.Result) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -41,7 +41,7 @@ func TestRunDecompose(t *testing.T) {
 	traceOut := filepath.Join(dir, "trace.csv")
 	err := runDecompose(context.Background(), []string{
 		"-rank", "3", "-iters", "5", "-algo", "hoqri",
-		"-out", uOut, "-trace", traceOut, path,
+		"-out", uOut, "-convergence", traceOut, path,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestRunDecomposeCheckpointResume(t *testing.T) {
 	resumed := filepath.Join(dir, "resumed.csv")
 	common := []string{"-rank", "3", "-algo", "hooi", "-tol", "0", "-seed", "7", "-workers", "2"}
 
-	args := append(append([]string{}, common...), "-iters", "8", "-trace", straight, path)
+	args := append(append([]string{}, common...), "-iters", "8", "-convergence", straight, path)
 	if err := runDecompose(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestRunDecomposeCheckpointResume(t *testing.T) {
 		t.Fatalf("checkpoint not written: %v", err)
 	}
 	args = append(append([]string{}, common...),
-		"-iters", "8", "-checkpoint", ckpt, "-resume", "-trace", resumed, path)
+		"-iters", "8", "-checkpoint", ckpt, "-resume", "-convergence", resumed, path)
 	if err := runDecompose(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}

@@ -533,7 +533,8 @@ func Fig9(w io.Writer, p Profile) error {
 			if p == ProfileQuick {
 				restarts = 5
 			}
-			u0, err := tucker.BestRandomInit(x, spec.Rank, restarts, 17, memguard.FromEnv())
+			u0, err := tucker.BestRandomInit(x, restarts,
+				tucker.Options{Rank: spec.Rank, Seed: 17, Guard: memguard.FromEnv()})
 			if err != nil {
 				return err
 			}

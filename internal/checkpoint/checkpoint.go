@@ -10,10 +10,15 @@
 // The on-disk format is deliberately boring and self-verifying:
 //
 //	offset  size  field
-//	0       8     magic "SYMCKPT" + version byte (currently 1)
+//	0       8     magic "SYMCKPT" + version byte (currently 2)
 //	8       8     payload length, little-endian uint64
 //	16      n     payload (fixed-width little-endian fields, see encode)
 //	16+n    4     CRC-32 (IEEE) of the payload, little-endian
+//
+// Version 2 appends the run's observability trace (Result.Trace, one event
+// per completed sweep) to the payload as a length-prefixed JSON blob, so a
+// resumed run's trace continues where the interrupted one stopped. Version
+// 1 snapshots (no trace) still load — the trace restores as empty.
 //
 // Save writes to a temp file in the target directory, syncs, closes, and
 // renames — so a crash mid-write leaves either the previous snapshot or
@@ -24,6 +29,7 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -32,6 +38,7 @@ import (
 	"path/filepath"
 
 	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/obs"
 )
 
 // ErrCheckpointCorrupt marks a snapshot that exists but fails structural
@@ -46,7 +53,10 @@ var ErrMismatch = errors.New("checkpoint: snapshot does not match run configurat
 
 const (
 	magic   = "SYMCKPT"
-	version = 1
+	version = 2
+	// minVersion is the oldest snapshot version Load still accepts
+	// (version 1 lacks the trailing trace blob).
+	minVersion = 1
 	// maxSnapshotBytes bounds Load's allocation so a corrupt length field
 	// cannot become an allocation bomb (the same defense the binary tensor
 	// reader grew after fuzzing).
@@ -74,6 +84,12 @@ type State struct {
 	// bit-identical to an uninterrupted one.
 	Objective []float64
 	RelError  []float64
+	// Trace is the observability iteration trace (one event per completed
+	// sweep, tucker Result.Trace), stored as JSON since version 2 so a
+	// resumed run extends it instead of restarting it. Unlike the numeric
+	// traces it carries wall-clock timings and is informational: it is not
+	// covered by the bit-identity resume guarantee.
+	Trace []obs.TraceEvent
 }
 
 func (s *State) encode() []byte {
@@ -105,6 +121,15 @@ func (s *State) encode() []byte {
 	}
 	floats(s.Objective)
 	floats(s.RelError)
+	// Version 2 trailer: the observability trace as length-prefixed JSON.
+	// JSON (not fixed-width fields) because TraceEvent carries maps and
+	// strings and evolves with the obs schema; the CRC still covers it.
+	trace, err := json.Marshal(s.Trace)
+	if err != nil {
+		trace = []byte("null")
+	}
+	u64(uint64(len(trace)))
+	buf = append(buf, trace...)
 	return buf
 }
 
@@ -112,7 +137,7 @@ func corrupt(format string, args ...any) error {
 	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrCheckpointCorrupt)
 }
 
-func decode(buf []byte) (*State, error) {
+func decode(buf []byte, ver byte) (*State, error) {
 	le := binary.LittleEndian
 	pos := 0
 	u64 := func(what string) (uint64, error) {
@@ -199,6 +224,20 @@ func decode(buf []byte) (*State, error) {
 	if s.RelError, err = floats("relative-error trace"); err != nil {
 		return nil, err
 	}
+	if ver >= 2 {
+		traceLen, err := u64("trace length")
+		if err != nil {
+			return nil, err
+		}
+		if traceLen > uint64(len(buf)-pos) {
+			return nil, corrupt("checkpoint: trace blob length %d exceeds payload", traceLen)
+		}
+		blob := buf[pos : pos+int(traceLen)]
+		pos += int(traceLen)
+		if err := json.Unmarshal(blob, &s.Trace); err != nil {
+			return nil, corrupt("checkpoint: trace blob is not valid JSON: %v", err)
+		}
+	}
 	if pos != len(buf) {
 		return nil, corrupt("checkpoint: %d trailing payload bytes", len(buf)-pos)
 	}
@@ -264,8 +303,8 @@ func Load(path string) (*State, error) {
 	if string(raw[:7]) != magic {
 		return nil, corrupt("checkpoint: bad magic %q", raw[:7])
 	}
-	if raw[7] != version {
-		return nil, corrupt("checkpoint: unsupported version %d (want %d)", raw[7], version)
+	if raw[7] < minVersion || raw[7] > version {
+		return nil, corrupt("checkpoint: unsupported version %d (want %d..%d)", raw[7], minVersion, version)
 	}
 	payloadLen := binary.LittleEndian.Uint64(raw[8:16])
 	if payloadLen > maxSnapshotBytes || 16+payloadLen+4 != uint64(len(raw)) {
@@ -276,5 +315,5 @@ func Load(path string) (*State, error) {
 	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
 		return nil, corrupt("checkpoint: CRC mismatch (stored %08x, computed %08x)", wantCRC, got)
 	}
-	return decode(payload)
+	return decode(payload, raw[7])
 }

@@ -1,7 +1,10 @@
 package checkpoint
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"errors"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -9,6 +12,7 @@ import (
 	"testing"
 
 	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/obs"
 )
 
 func sampleState() *State {
@@ -25,6 +29,11 @@ func sampleState() *State {
 		U:           u,
 		Objective:   []float64{3.5, 2.25, 2.0 + 1e-16, 1.125},
 		RelError:    []float64{0.9, 0.5, 0.25, 0.125},
+		Trace: []obs.TraceEvent{
+			{Sweep: 3, Objective: 1.125, RelError: 0.125, Fit: 0.875, WallNs: 12345,
+				Plans:  map[string]obs.PlanDelta{"s3ttmc.owner": {Invocations: 1, Items: 500, BusyNs: 9000, SpanNs: 10000}},
+				Health: []string{"iteration 3: something happened"}},
+		},
 	}
 }
 
@@ -154,6 +163,71 @@ func TestVersionMismatch(t *testing.T) {
 	}
 	if _, err := Load(path); !errors.Is(err, ErrCheckpointCorrupt) {
 		t.Errorf("future version must be rejected: %v", err)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	want := sampleState()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trace) != 1 {
+		t.Fatalf("got %d trace events, want 1", len(got.Trace))
+	}
+	ev, wantEv := got.Trace[0], want.Trace[0]
+	if ev.Sweep != wantEv.Sweep || ev.WallNs != wantEv.WallNs || ev.Fit != wantEv.Fit {
+		t.Errorf("trace event mismatch: %+v vs %+v", ev, wantEv)
+	}
+	if d := ev.Plans["s3ttmc.owner"]; d != wantEv.Plans["s3ttmc.owner"] {
+		t.Errorf("plan delta mismatch: %+v", d)
+	}
+	if len(ev.Health) != 1 || ev.Health[0] != wantEv.Health[0] {
+		t.Errorf("health events mismatch: %v", ev.Health)
+	}
+}
+
+// TestVersion1StillLoads rebuilds a pre-trace (version 1) snapshot from a
+// current one — strip the length-prefixed JSON trailer, flip the version
+// byte, refresh length and CRC — and expects Load to accept it with an
+// empty trace.
+func TestVersion1StillLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	want := sampleState()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := raw[16 : len(raw)-4]
+	traceJSON, err := json.Marshal(want.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1payload := payload[: len(payload)-8-len(traceJSON) : len(payload)-8-len(traceJSON)]
+	v1 := append([]byte(nil), raw[:8]...)
+	v1[7] = 1
+	v1 = binary.LittleEndian.AppendUint64(v1, uint64(len(v1payload)))
+	v1 = append(v1, v1payload...)
+	v1 = binary.LittleEndian.AppendUint32(v1, crc32.ChecksumIEEE(v1payload))
+	if err := os.WriteFile(path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("version-1 snapshot must still load: %v", err)
+	}
+	if got.Iteration != want.Iteration || len(got.Objective) != len(want.Objective) {
+		t.Errorf("v1 fields lost: %+v", got)
+	}
+	if len(got.Trace) != 0 {
+		t.Errorf("v1 snapshot should restore an empty trace, got %d events", len(got.Trace))
 	}
 }
 

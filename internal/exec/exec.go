@@ -42,12 +42,27 @@ type Pool struct {
 	closed atomic.Bool
 }
 
+// poolsCreated counts NewPool calls process-wide. It exists for tests
+// asserting pool reuse (e.g. that nested drivers share one pool instead of
+// creating one per inner run); it never wraps in practice.
+var poolsCreated atomic.Int64
+
+// PoolsCreated returns the number of pools created since process start —
+// a monotone counter for pool-reuse assertions in tests.
+func PoolsCreated() int64 { return poolsCreated.Load() }
+
 // NewPool starts size resident worker goroutines (GOMAXPROCS when
 // size <= 0). The pool must be released with Close when the run ends.
+//
+// Ownership contract: whoever calls NewPool owns the pool and is the only
+// party that may Close it. Code that *accepts* a pool (kernels.Options.Exec,
+// tucker.Options.Pool) must treat it as borrowed — use it, never close it.
+// Close is idempotent and nil-safe, so owners may defer it unconditionally.
 func NewPool(size int) *Pool {
 	if size <= 0 {
 		size = runtime.GOMAXPROCS(0)
 	}
+	poolsCreated.Add(1)
 	p := &Pool{tasks: make(chan func()), size: size}
 	p.wg.Add(size)
 	for i := 0; i < size; i++ {

@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/symprop/symprop/internal/faultinject"
+	"github.com/symprop/symprop/internal/obs"
+)
+
+func sumPlan(name string, out []int64, items int) Plan {
+	return Plan{
+		Name:  name,
+		Items: items,
+		Body: func(w *Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := w.Tick(i); err != nil {
+					return err
+				}
+				out[i] = int64(i)
+			}
+			return nil
+		},
+	}
+}
+
+func TestRunRejectsUnnamedPlan(t *testing.T) {
+	err := Run(Config{}, Plan{Items: 4, Body: func(w *Worker, lo, hi int) error { return nil }})
+	if err == nil {
+		t.Fatal("unnamed plan must be rejected")
+	}
+	if got := err.Error(); got != "exec: plan has no name (Plan.Name is required: it keys fault sites, panic attribution, and metrics)" {
+		t.Fatalf("unexpected error text %q", got)
+	}
+}
+
+func TestRunRecordsMetrics(t *testing.T) {
+	checkGoroutines(t)
+	p := NewPool(3)
+	defer p.Close()
+	m := obs.New()
+	out := make([]int64, 100)
+	if err := Run(Config{Workers: 3, Pool: p, Metrics: m}, sumPlan("test.obs", out, 100)); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "test.obs" {
+		t.Fatalf("snapshot = %+v, want one test.obs entry", snap)
+	}
+	pm := snap[0]
+	if pm.Invocations != 1 || pm.Items != 100 || pm.WorkerSpans != 3 {
+		t.Errorf("counters off: %+v", pm)
+	}
+	if pm.SpanNs <= 0 || pm.BusyNs < 0 || pm.Imbalance < 1 {
+		t.Errorf("timings off: %+v", pm)
+	}
+}
+
+// The collector must observe failed invocations too (a plan that dies
+// mid-run still burned its workers' time), and none of the abnormal exits
+// may leak goroutines: cancellation, a panicking body, and an injected
+// worker fault.
+func TestMetricsUnderCancelPanicAndFault(t *testing.T) {
+	checkGoroutines(t)
+	p := NewPool(4)
+	defer p.Close()
+	m := obs.New()
+	cfgFor := func(ctx context.Context) Config {
+		return Config{Ctx: ctx, Workers: 4, Pool: p, Metrics: m}
+	}
+
+	// Cancellation mid-run: the context dies after the first worker tick.
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make([]int64, 4096)
+	err := Run(cfgFor(ctx), Plan{
+		Name:       "test.obs.cancel",
+		Items:      len(out),
+		CheckEvery: 1,
+		Body: func(w *Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				cancel()
+				if err := w.Tick(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// Panicking body: typed capture, all slots joined.
+	err = Run(cfgFor(context.Background()), Plan{
+		Name:  "test.obs.panic",
+		Items: 64,
+		Body: func(w *Worker, lo, hi int) error {
+			panic("poisoned")
+		},
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want PanicError, got %v", err)
+	}
+
+	// Injected worker fault through the plan-scoped site.
+	boom := errors.New("injected")
+	disarm := faultinject.Arm(faultinject.PlanWorkerSite("test.obs.fault"),
+		faultinject.OnHit(1, func(any) error { return boom }))
+	err = Run(cfgFor(context.Background()), sumPlan("test.obs.fault", make([]int64, 256), 256))
+	disarm()
+	if !errors.Is(err, boom) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+
+	for _, name := range []string{"test.obs.cancel", "test.obs.panic", "test.obs.fault"} {
+		found := false
+		for _, pm := range m.Snapshot() {
+			if pm.Name == name && pm.Invocations == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("plan %s not recorded after abnormal exit", name)
+		}
+	}
+}
+
+// A config collector that is also the global collector must record each
+// invocation once, not twice.
+func TestRunDedupsGlobalCollector(t *testing.T) {
+	m := obs.New()
+	obs.SetGlobal(m)
+	defer obs.SetGlobal(nil)
+	if err := Run(Config{Workers: 2, Metrics: m}, sumPlan("test.obs.dedup", make([]int64, 32), 32)); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0].Invocations != 1 {
+		t.Fatalf("want exactly one recorded invocation, got %+v", snap)
+	}
+}
+
+// Enabling pprof labels must not change what the plan computes, nor leak.
+func TestRunWithPprofLabels(t *testing.T) {
+	checkGoroutines(t)
+	p := NewPool(3)
+	defer p.Close()
+	m := obs.New()
+	m.EnablePprofLabels()
+	m.SetPhase("sweep-7")
+	out := make([]int64, 100)
+	if err := Run(Config{Workers: 3, Pool: p, Metrics: m}, sumPlan("test.obs.labels", out, 100)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != int64(i) {
+			t.Fatalf("out[%d] = %d under labels", i, v)
+		}
+	}
+}

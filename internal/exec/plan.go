@@ -4,19 +4,29 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
+	"time"
 
 	"github.com/symprop/symprop/internal/faultinject"
+	"github.com/symprop/symprop/internal/obs"
 )
 
 // Config carries the per-call execution context a kernel threads into Run:
 // the cancellation context, the requested worker count (GOMAXPROCS when
-// <= 0), and the persistent pool slots are dispatched on (nil for
-// transient goroutines).
+// <= 0), the persistent pool slots are dispatched on (nil for transient
+// goroutines), and the optional metrics collector every plan invocation is
+// recorded into.
 type Config struct {
 	Ctx     context.Context
 	Workers int
 	Pool    *Pool
+	// Metrics, when non-nil, receives per-plan counters (invocations,
+	// items, per-worker busy time, wall span) for every Run through this
+	// config. Independent of it, Run also records into the process-global
+	// collector when one is installed (obs.SetGlobal). nil costs nothing
+	// beyond one nil check and one atomic load per Run.
+	Metrics *obs.Metrics
 }
 
 // Partition selects how a plan's items are split across workers.
@@ -138,9 +148,19 @@ func (w *Worker) Canceled() error {
 // started slot, and returns the first error in slot order (deterministic
 // regardless of which worker lost the race). A single-worker plan runs
 // inline on the caller with the same capture semantics.
+//
+// A plan must be named: the name keys the faultinject plan-site registry,
+// PanicError attribution, and the obs per-plan counters, all of which
+// degrade silently under "". When a metrics collector is armed (via
+// Config.Metrics or obs.SetGlobal), Run additionally measures each slot's
+// busy time and the invocation's wall span, and — when the collector asks
+// for it — runs every slot under pprof labels plan=<name>, phase=<phase>.
 func Run(cfg Config, plan Plan) error {
 	if plan.Body == nil {
 		return errors.New("exec: plan " + plan.Name + " has no body")
+	}
+	if plan.Name == "" {
+		return errors.New("exec: plan has no name (Plan.Name is required: it keys fault sites, panic attribution, and metrics)")
 	}
 	site := faultinject.RegisterPlan(plan.Name)
 	if IsCanceled(cfg.Ctx) {
@@ -169,6 +189,20 @@ func Run(cfg Config, plan Plan) error {
 	every := plan.CheckEvery
 	if every <= 0 {
 		every = DefaultCheckEvery
+	}
+
+	// Recorder set: the config's collector plus the process-global one
+	// (deduplicated). The disarmed path is this nil check and one atomic
+	// load; Worker.Tick is untouched either way.
+	var recs [2]*obs.Metrics
+	nrec := 0
+	if cfg.Metrics != nil {
+		recs[nrec] = cfg.Metrics
+		nrec++
+	}
+	if g := obs.Global(); g != nil && g != cfg.Metrics {
+		recs[nrec] = g
+		nrec++
 	}
 
 	ws := make([]*Worker, workers)
@@ -217,16 +251,52 @@ func Run(cfg Config, plan Plan) error {
 		}
 	}
 
+	slotFn := runSlot
+	var busy []int64
+	var spanStart time.Time
+	if nrec > 0 {
+		busy = make([]int64, workers)
+		inner := slotFn
+		// Per-slot busy time: written by the slot's goroutine, read after
+		// the dispatch join (which provides the happens-before edge).
+		slotFn = func(slot int) {
+			t := time.Now()
+			inner(slot)
+			busy[slot] = time.Since(t).Nanoseconds()
+		}
+		for i := 0; i < nrec; i++ {
+			if recs[i].LabelsEnabled() {
+				lctx := cfg.Ctx
+				if lctx == nil {
+					lctx = context.Background()
+				}
+				labels := pprof.Labels("plan", plan.Name, "phase", recs[i].Phase())
+				timed := slotFn
+				slotFn = func(slot int) {
+					pprof.Do(lctx, labels, func(context.Context) { timed(slot) })
+				}
+				break
+			}
+		}
+		spanStart = time.Now()
+	}
+
 	if workers <= 1 {
-		runSlot(0)
+		slotFn(0)
 	} else {
-		cfg.Pool.dispatch(workers, runSlot)
+		cfg.Pool.dispatch(workers, slotFn)
 	}
 	if plan.Finish != nil {
 		for _, w := range ws {
 			if w != nil {
 				plan.Finish(w)
 			}
+		}
+	}
+	if nrec > 0 {
+		span := time.Since(spanStart).Nanoseconds()
+		for i := 0; i < nrec; i++ {
+			recs[i].RecordPlan(plan.Name, workers, items, span, busy)
 		}
 	}
 	for _, err := range errs {

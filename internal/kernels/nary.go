@@ -208,7 +208,7 @@ func naryScatterOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers i
 		// runLatticeOwner).
 		return err
 	}
-	return spills.reduceInto(a, workers, opts.Schedules, opts.Exec)
+	return spills.reduceInto(a, workers, opts.Schedules, opts.Exec, opts.Obs)
 }
 
 // naryScatterStriped is the striped-lock ablation baseline of pass 2.

@@ -1,0 +1,47 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/symprop/symprop/internal/obs"
+)
+
+// TestObsChangesNoOutputBits runs S3TTMcSymProp with a live metrics
+// collector (pprof labels armed, a phase set — the full instrumented
+// path) and demands bit-identical output against the uninstrumented run,
+// across worker counts and both scheduling modes. Observability must be
+// a pure read on the side: timing wraps and label contexts may not
+// perturb partitioning, accumulation order, or scratch reuse.
+func TestObsChangesNoOutputBits(t *testing.T) {
+	x, u := dyadicCase(t, 3, 48, 900, 3, 74)
+	for _, workers := range []int{1, 7} {
+		for _, mode := range []Scheduling{SchedOwnerComputes, SchedStripedLocks} {
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, mode), func(t *testing.T) {
+				base := Options{Workers: workers, Scheduling: mode}
+				plain, err := S3TTMcSymProp(x, u, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := obs.New()
+				m.EnablePprofLabels()
+				m.SetPhase("determinism-check")
+				instrumented := base
+				instrumented.Obs = m
+				got, err := S3TTMcSymProp(x, u, instrumented)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range plain.Data {
+					if got.Data[i] != plain.Data[i] {
+						t.Fatalf("bit mismatch at %d with obs armed: got %x, want %x",
+							i, got.Data[i], plain.Data[i])
+					}
+				}
+				if len(m.Snapshot()) == 0 {
+					t.Fatal("collector recorded nothing — instrumentation not wired")
+				}
+			})
+		}
+	}
+}

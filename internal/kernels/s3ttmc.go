@@ -28,6 +28,7 @@ import (
 	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/obs"
 	"github.com/symprop/symprop/internal/spsym"
 )
 
@@ -88,7 +89,12 @@ type Options struct {
 	// dispatched on (created once per decomposition run by the Tucker
 	// drivers and shared across every sweep). nil runs each plan on
 	// transient goroutines — correct, but without cross-call worker reuse.
+	// The pool is borrowed: kernels never close it (see exec.NewPool).
 	Exec *exec.Pool
+	// Obs, when non-nil, collects per-plan metrics (invocations, items,
+	// per-worker busy time, span, load imbalance) for every engine plan
+	// this kernel call runs. nil records nothing.
+	Obs *obs.Metrics
 }
 
 func (o Options) workers() int {
@@ -100,7 +106,7 @@ func (o Options) workers() int {
 
 // execConfig bundles the engine inputs of one kernel call.
 func (o Options) execConfig() exec.Config {
-	return exec.Config{Ctx: o.Ctx, Workers: o.workers(), Pool: o.Exec}
+	return exec.Config{Ctx: o.Ctx, Workers: o.workers(), Pool: o.Exec, Metrics: o.Obs}
 }
 
 func (o Options) cache() *css.Cache {
@@ -420,7 +426,7 @@ func runLatticeOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bo
 		// dirty memory to the pool's all-zero free list.
 		return err
 	}
-	return spills.reduceInto(y, workers, opts.Schedules, opts.Exec)
+	return spills.reduceInto(y, workers, opts.Schedules, opts.Exec, opts.Obs)
 }
 
 // runLatticeStriped is the historical strategy: dynamic chunks of

@@ -34,6 +34,7 @@ import (
 	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/obs"
 	"github.com/symprop/symprop/internal/spsym"
 )
 
@@ -310,11 +311,11 @@ func (s *spillSet) buffer(w int) *spillBuffer {
 // Each spill row is re-zeroed as it is folded and the buffers handed back
 // to c's pool, restoring the all-zero invariant newSpillSet relies on; on
 // failure the buffers are dropped to the GC instead of pooled dirty.
-func (s *spillSet) reduceInto(y *linalg.Matrix, workers int, c *ScheduleCache, pool *exec.Pool) error {
+func (s *spillSet) reduceInto(y *linalg.Matrix, workers int, c *ScheduleCache, pool *exec.Pool, m *obs.Metrics) error {
 	if s == nil {
 		return nil
 	}
-	err := exec.Run(exec.Config{Workers: workers, Pool: pool}, exec.Plan{
+	err := exec.Run(exec.Config{Workers: workers, Pool: pool, Metrics: m}, exec.Plan{
 		Name:  "schedule.reduce",
 		Items: y.Rows,
 		Body: func(_ *exec.Worker, lo, hi int) error {

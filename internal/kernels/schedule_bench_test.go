@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/obs"
 	"github.com/symprop/symprop/internal/spsym"
 )
 
@@ -37,13 +38,16 @@ func BenchmarkS3TTMcScheduling(b *testing.B) {
 		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("sched=%v/workers=%d", sched, workers), func(b *testing.B) {
 				var scheds ScheduleCache
-				opts := Options{Workers: workers, Scheduling: sched, Schedules: &scheds}
+				m := obs.New()
+				opts := Options{Workers: workers, Scheduling: sched, Schedules: &scheds, Obs: m}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := S3TTMcSymProp(x, u, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
+				b.StopTimer()
+				reportPlanMetrics(b, m)
 			})
 		}
 	}
@@ -66,6 +70,17 @@ func BenchmarkUCOOScheduling(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// reportPlanMetrics attaches the engine's per-plan counters as custom
+// benchmark columns (benchjson stores them in the snapshot's extra map):
+// per-op worker busy time and the run's load-imbalance ratio per plan.
+func reportPlanMetrics(b *testing.B, m *obs.Metrics) {
+	b.Helper()
+	for _, pm := range m.Snapshot() {
+		b.ReportMetric(float64(pm.BusyNs)/float64(b.N), pm.Name+"-busy-ns/op")
+		b.ReportMetric(pm.Imbalance, pm.Name+"-imbalance")
 	}
 }
 

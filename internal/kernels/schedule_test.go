@@ -180,13 +180,13 @@ func TestSpillSetReduce(t *testing.T) {
 		t.Fatal("nil spill set returned a buffer")
 	}
 	y := linalg.NewMatrix(5, 2)
-	nilSet.reduceInto(y, 2, nil, nil) // must be a no-op
+	nilSet.reduceInto(y, 2, nil, nil, nil) // must be a no-op
 	var cache ScheduleCache
 	s := newSpillSet(&cache, 3, 5, 2)
 	s.buffer(0).add(1, 2, []float64{1, 1})
 	s.buffer(2).add(1, 1, []float64{0.5, 0})
 	s.buffer(1).add(4, -1, []float64{1, 2})
-	if err := s.reduceInto(y, 3, &cache, nil); err != nil {
+	if err := s.reduceInto(y, 3, &cache, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	want := [][]float64{{0, 0}, {2.5, 2}, {0, 0}, {0, 0}, {-1, -2}}

@@ -108,7 +108,7 @@ func ucooOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y *
 		// runLatticeOwner).
 		return err
 	}
-	return spills.reduceInto(y, workers, opts.Schedules, opts.Exec)
+	return spills.reduceInto(y, workers, opts.Schedules, opts.Exec, opts.Obs)
 }
 
 // ucooStriped is the striped-lock ablation baseline: a static split of the

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// TraceEvent is one driver iteration's record: convergence state, wall
+// time, the per-plan counter deltas attributed to the sweep, and anything
+// the resilience runtime did during it (health sentinel firings,
+// checkpoint writes). Drivers append one event per completed sweep to
+// Result.Trace and stream it to the optional TraceSink; the JSONL schema
+// is the json tags below, documented in docs/OBSERVABILITY.md.
+type TraceEvent struct {
+	// Sweep is the 0-based iteration index.
+	Sweep int `json:"sweep"`
+	// Objective and RelError are the sweep's trace entries (tucker.Result
+	// semantics); Fit is 1 − RelError.
+	Objective float64 `json:"objective"`
+	RelError  float64 `json:"rel_error"`
+	Fit       float64 `json:"fit"`
+	// WallNs is the sweep's wall time from iteration preamble to the
+	// event's emission.
+	WallNs int64 `json:"wall_ns"`
+	// Plans maps plan name → counter deltas recorded during the sweep.
+	Plans map[string]PlanDelta `json:"plans,omitempty"`
+	// Health holds the health-sentinel events fired during the sweep
+	// (jittered restarts, budget degradations, objective regressions).
+	Health []string `json:"health,omitempty"`
+	// Checkpoint is the snapshot path written at the end of the sweep, ""
+	// when no snapshot was taken.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// PlanDelta is the per-sweep slice of a plan's counters.
+type PlanDelta struct {
+	Invocations int64 `json:"invocations"`
+	Items       int64 `json:"items"`
+	BusyNs      int64 `json:"busy_ns"`
+	SpanNs      int64 `json:"span_ns"`
+}
+
+// DiffSnapshots attributes counters to an interval: it returns, per plan,
+// after minus before, omitting plans with no activity in between. Both
+// arguments are Snapshot results (sorted, but the order is not relied on).
+func DiffSnapshots(before, after []PlanMetrics) map[string]PlanDelta {
+	base := make(map[string]PlanMetrics, len(before))
+	for _, pm := range before {
+		base[pm.Name] = pm
+	}
+	out := make(map[string]PlanDelta)
+	for _, pm := range after {
+		b := base[pm.Name]
+		d := PlanDelta{
+			Invocations: pm.Invocations - b.Invocations,
+			Items:       pm.Items - b.Items,
+			BusyNs:      pm.BusyNs - b.BusyNs,
+			SpanNs:      pm.SpanNs - b.SpanNs,
+		}
+		if d.Invocations != 0 || d.Items != 0 || d.BusyNs != 0 || d.SpanNs != 0 {
+			out[pm.Name] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// TraceSink receives trace events as they are produced. Emit is called
+// serially from the driver goroutine; an error is recorded as a health
+// event and the run continues (observability must not kill a
+// decomposition).
+type TraceSink interface {
+	Emit(TraceEvent) error
+}
+
+// JSONLSink streams events as JSON Lines to a writer. Safe for use from
+// one driver at a time per sink; the mutex only guards against a caller
+// snapshotting concurrently with a run.
+type JSONLSink struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	closer io.Closer
+}
+
+// NewJSONLSink wraps w. The caller owns w's lifetime.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// CreateJSONL creates (truncating) path and returns a sink that owns the
+// file; release it with Close.
+func CreateJSONL(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLSink{enc: json.NewEncoder(f), closer: f}, nil
+}
+
+// Emit writes one event as a single JSON line.
+func (s *JSONLSink) Emit(ev TraceEvent) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(ev)
+}
+
+// Close releases the underlying file when the sink owns one.
+func (s *JSONLSink) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer.Close()
+}

@@ -168,14 +168,38 @@ func canonicalSigns(u *linalg.Matrix) *linalg.Matrix {
 // HOQRI sweep each and returns the U0 with the lowest single-sweep
 // reconstruction error — the paper's footnote-5 protocol for datasets too
 // large for HOSVD.
-func BestRandomInit(x *spsym.Tensor, rank, restarts int, seed int64, guard *memguard.Guard) (*linalg.Matrix, error) {
+//
+// Every restart inherits the caller's execution options (Ctx, Guard,
+// Workers, Scheduling, Pool, Metrics), so a cancellation or a caller-chosen
+// pool reaches the nested sweeps; an earlier version rebuilt Options from
+// scratch per restart, silently dropping them. Restart s uses seed
+// opts.Seed+s. Fields that only make sense for a full run — U0, Init, Tol,
+// MaxIters, checkpointing, Resume, OnIteration, TraceSink — are overridden
+// or cleared: the restarts are probes, not resumable runs. When opts.Pool
+// is nil, one pool is created here and shared by all restarts instead of
+// paying a pool spin-up per restart.
+func BestRandomInit(x *spsym.Tensor, restarts int, opts Options) (*linalg.Matrix, error) {
 	if restarts < 1 {
 		restarts = 1
 	}
+	pool, closePool := opts.execPool()
+	defer closePool()
 	var best *linalg.Matrix
 	bestErr := math.Inf(1)
 	for s := 0; s < restarts; s++ {
-		res, err := HOQRI(x, Options{Rank: rank, MaxIters: 1, Seed: seed + int64(s), Guard: guard})
+		probe := opts
+		probe.MaxIters = 1
+		probe.Tol = 0
+		probe.Init = InitRandom
+		probe.U0 = nil
+		probe.Seed = opts.Seed + int64(s)
+		probe.Pool = pool
+		probe.CheckpointPath = ""
+		probe.CheckpointEvery = 0
+		probe.Resume = nil
+		probe.OnIteration = nil
+		probe.TraceSink = nil
+		res, err := HOQRI(x, probe)
 		if err != nil {
 			return nil, err
 		}

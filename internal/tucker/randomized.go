@@ -107,7 +107,7 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.Phases.Core += time.Since(t)
 
 		res.Iters = it + 1
-		if err := rs.maybeCheckpoint(u); err != nil {
+		if err := rs.endIteration(it, u); err != nil {
 			return nil, err
 		}
 		if converged(res, opts.Tol) {
@@ -127,6 +127,7 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 		}
 		res.CoreP = linalg.MulTN(u, yp)
 	}
+	rs.finish()
 	res.U = u
 	return res, nil
 }

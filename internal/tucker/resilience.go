@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"time"
 
 	"github.com/symprop/symprop/internal/checkpoint"
 	"github.com/symprop/symprop/internal/exec"
@@ -24,6 +25,7 @@ import (
 	"github.com/symprop/symprop/internal/kernels"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/obs"
 	"github.com/symprop/symprop/internal/spsym"
 )
 
@@ -134,11 +136,34 @@ type runState struct {
 	kopts    *kernels.Options // shared with the driver; degrade() mutates it
 	fp       uint64
 	degraded bool
+
+	// Observability (DESIGN.md §9): every run has a collector — the
+	// caller's (Options.Metrics) or a private one — installed into kopts so
+	// each kernel plan records into it. Per-sweep attribution comes from
+	// snapshot deltas taken at iteration boundaries.
+	m          *obs.Metrics
+	sweepStart time.Time
+	sweepBase  []obs.PlanMetrics
+	healthBase int
 }
 
 func newRun(algo string, x *spsym.Tensor, opts *Options, res *Result, kopts *kernels.Options) *runState {
+	m := opts.Metrics
+	if m == nil {
+		m = obs.New()
+	}
+	if kopts != nil {
+		kopts.Obs = m
+	}
 	return &runState{algo: algo, x: x, opts: opts, res: res, kopts: kopts,
-		fp: Fingerprint(algo, x, opts)}
+		fp: Fingerprint(algo, x, opts), m: m}
+}
+
+// finish stamps the run's aggregated per-plan counters into the Result; it
+// runs on every exit path that hands the Result to the caller (success and
+// cancellation).
+func (rs *runState) finish() {
+	rs.res.PlanMetrics = rs.m.Snapshot()
 }
 
 func (rs *runState) ctx() context.Context { return rs.opts.Ctx }
@@ -191,19 +216,71 @@ func (rs *runState) start(initU func() (*linalg.Matrix, error)) (*linalg.Matrix,
 	}
 	rs.res.Objective = append([]float64(nil), s.Objective...)
 	rs.res.RelError = append([]float64(nil), s.RelError...)
+	rs.res.Trace = append([]obs.TraceEvent(nil), s.Trace...)
 	rs.res.Iters = s.Iteration
 	return s.U.Clone(), s.Iteration, nil
 }
 
 // beginIteration runs the per-iteration preamble: the fault-injection site
-// and the cancellation check. u is the factor the iteration would read —
-// exactly what a cancel-exit snapshot must preserve.
+// and the cancellation check, then opens the sweep's observability window
+// (wall clock, counter baseline, health baseline, pprof phase label). u is
+// the factor the iteration would read — exactly what a cancel-exit
+// snapshot must preserve.
 func (rs *runState) beginIteration(it int, u *linalg.Matrix) error {
 	if err := faultinject.Fire(faultinject.SiteIteration, it); err != nil {
 		return err
 	}
 	if ctxDone(rs.ctx()) {
 		return rs.canceledErr(u, ctxCause(rs.ctx()))
+	}
+	rs.sweepStart = time.Now()
+	rs.sweepBase = rs.m.Snapshot()
+	rs.healthBase = len(rs.res.Health.Events)
+	rs.m.SetPhase(fmt.Sprintf("sweep-%d", it))
+	return nil
+}
+
+// endIteration closes a *completed* sweep: it builds the TraceEvent
+// (convergence state, wall time, per-plan counter deltas, the sweep's
+// health events), appends it to Result.Trace, writes the periodic
+// checkpoint when one is due — after the append, so the snapshot carries
+// the sweep's own event and a resumed run's trace continues seamlessly —
+// and streams the event to the optional sink. A failed periodic snapshot
+// aborts the run (a silently unresumable long run is worse than a loud
+// early death, same policy as before the trace existed); a sink failure is
+// only a health event — observability must never kill a decomposition.
+// Drivers call it once per completed sweep, with u being the factor the
+// next iteration will read; a nil u skips the checkpoint — the break paths
+// that stop *before* the factor update (HOQRI's convergence and
+// OnIteration exits) have no resumable factor to offer, exactly as before
+// the trace existed.
+func (rs *runState) endIteration(it int, u *linalg.Matrix) error {
+	ev := obs.TraceEvent{
+		Sweep:  it,
+		WallNs: time.Since(rs.sweepStart).Nanoseconds(),
+		Plans:  obs.DiffSnapshots(rs.sweepBase, rs.m.Snapshot()),
+	}
+	if n := len(rs.res.Objective); n > 0 {
+		ev.Objective = rs.res.Objective[n-1]
+		ev.RelError = rs.res.RelError[n-1]
+		ev.Fit = 1 - ev.RelError
+	}
+	if events := rs.res.Health.Events; len(events) > rs.healthBase {
+		ev.Health = append([]string(nil), events[rs.healthBase:]...)
+	}
+	if u != nil && rs.opts.CheckpointPath != "" && rs.res.Iters%rs.opts.CheckpointEvery == 0 {
+		ev.Checkpoint = rs.opts.CheckpointPath
+		rs.res.Trace = append(rs.res.Trace, ev)
+		if err := rs.save(u); err != nil {
+			return err
+		}
+	} else {
+		rs.res.Trace = append(rs.res.Trace, ev)
+	}
+	if rs.opts.TraceSink != nil {
+		if err := rs.opts.TraceSink.Emit(ev); err != nil {
+			rs.event("iteration %d: trace sink failed: %v", it, err)
+		}
 	}
 	return nil
 }
@@ -219,11 +296,12 @@ func (rs *runState) canceledErr(u *linalg.Matrix, cause error) error {
 			path = rs.opts.CheckpointPath
 		}
 	}
+	rs.finish()
 	return &CanceledError{Iters: rs.res.Iters, Partial: rs.res, CheckpointPath: path, Cause: cause}
 }
 
 func (rs *runState) save(u *linalg.Matrix) error {
-	return checkpoint.Save(rs.opts.CheckpointPath, &checkpoint.State{
+	err := checkpoint.Save(rs.opts.CheckpointPath, &checkpoint.State{
 		Algo:        rs.algo,
 		Fingerprint: rs.fp,
 		Iteration:   rs.res.Iters,
@@ -231,17 +309,9 @@ func (rs *runState) save(u *linalg.Matrix) error {
 		U:           u,
 		Objective:   rs.res.Objective,
 		RelError:    rs.res.RelError,
+		Trace:       rs.res.Trace,
 	})
-}
-
-// maybeCheckpoint runs at the end of an iteration body with the factor the
-// next iteration will read. A failed periodic snapshot aborts the run: a
-// silently unresumable long run is worse than a loud early death.
-func (rs *runState) maybeCheckpoint(u *linalg.Matrix) error {
-	if rs.opts.CheckpointPath == "" || rs.res.Iters%rs.opts.CheckpointEvery != 0 {
-		return nil
-	}
-	return rs.save(u)
+	return err
 }
 
 // wrapKernelErr classifies a kernel or SVD failure into the taxonomy:

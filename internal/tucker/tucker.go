@@ -21,6 +21,7 @@ import (
 	"github.com/symprop/symprop/internal/kernels"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/obs"
 	"github.com/symprop/symprop/internal/spsym"
 )
 
@@ -88,8 +89,21 @@ type Options struct {
 	// plan of the run is dispatched on. nil (the default) makes the driver
 	// create one sized to the effective worker count and close it when the
 	// run returns; callers running several decompositions back to back can
-	// share one pool across runs by setting it (and own its Close).
+	// share one pool across runs by setting it. Ownership contract: a
+	// caller-provided pool is borrowed — the driver never closes it, the
+	// caller owns its Close (which is idempotent and nil-safe).
 	Pool *exec.Pool
+	// Metrics, when non-nil, is the observability collector every kernel
+	// plan of the run records into (see internal/obs). nil makes the
+	// driver use a private collector; either way the aggregated per-plan
+	// counters land in Result.PlanMetrics. Setting it is useful to share
+	// one collector across runs or to export it via obs.PublishExpvar.
+	Metrics *obs.Metrics
+	// TraceSink, when non-nil, receives every iteration TraceEvent as it
+	// is produced (e.g. an obs.JSONLSink streaming to disk), in addition
+	// to the events accumulating in Result.Trace. Sink errors are recorded
+	// as health events, never failing the run.
+	TraceSink obs.TraceSink
 }
 
 // execPool returns the run's engine pool and its cleanup. A caller-provided
@@ -166,6 +180,17 @@ type Result struct {
 	// Health reports what the numeric-health sentinels observed
 	// (resilience.go); all-zero for a clean run.
 	Health Health
+	// Trace holds one observability event per completed sweep: convergence
+	// state, wall time, per-plan engine-counter deltas, health events, and
+	// checkpoint writes. A resumed run's trace continues the interrupted
+	// one's (restored from the snapshot). Unlike Objective/RelError it
+	// carries wall-clock timings, so it is informational — excluded from
+	// the bit-identity resume guarantee.
+	Trace []obs.TraceEvent
+	// PlanMetrics aggregates the engine's per-plan counters over the whole
+	// run (invocations, items, busy/span time, load imbalance), sorted by
+	// plan name.
+	PlanMetrics []obs.PlanMetrics
 }
 
 // FinalRelError returns the last entry of the relative-error trace.
@@ -289,7 +314,7 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.Phases.Core += time.Since(t)
 
 		res.Iters = it + 1
-		if err := rs.maybeCheckpoint(u); err != nil {
+		if err := rs.endIteration(it, u); err != nil {
 			return nil, err
 		}
 		if converged(res, opts.Tol) {
@@ -310,6 +335,7 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 		u = uUsed
 		res.CoreP = linalg.MulTN(u, yp)
 	}
+	rs.finish()
 	res.U = u
 	return res, nil
 }
@@ -380,10 +406,16 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 		if converged(res, opts.Tol) {
 			res.Converged = true
 			coreConsistent = true
+			if err := rs.endIteration(it, nil); err != nil {
+				return nil, err
+			}
 			break
 		}
 		if opts.OnIteration != nil && !opts.OnIteration(res.Iters, res.RelError[len(res.RelError)-1]) {
 			coreConsistent = true
+			if err := rs.endIteration(it, nil); err != nil {
+				return nil, err
+			}
 			break
 		}
 
@@ -398,7 +430,7 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 		}
 		res.Phases.QR += time.Since(t)
 
-		if err := rs.maybeCheckpoint(u); err != nil {
+		if err := rs.endIteration(it, u); err != nil {
 			return nil, err
 		}
 	}
@@ -418,6 +450,7 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.CoreP = linalg.MulTN(u, yp)
 		res.Phases.Core += time.Since(t)
 	}
+	rs.finish()
 	res.U = u
 	return res, nil
 }

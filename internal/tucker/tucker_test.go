@@ -1,12 +1,14 @@
 package tucker
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"github.com/symprop/symprop/internal/dense"
+	"github.com/symprop/symprop/internal/exec"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/spsym"
@@ -232,7 +234,7 @@ func TestHOOIOOMOnLargeUnfolding(t *testing.T) {
 
 func TestBestRandomInit(t *testing.T) {
 	x := testTensor(t, 3, 6, 15, 29)
-	u0, err := BestRandomInit(x, 2, 5, 42, nil)
+	u0, err := BestRandomInit(x, 5, Options{Rank: 2, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,6 +244,48 @@ func TestBestRandomInit(t *testing.T) {
 	// Using it must not error.
 	if _, err := HOQRI(x, Options{Rank: 2, MaxIters: 3, U0: u0}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BestRandomInit must thread the caller's options into the probe sweeps: a
+// pre-canceled context has to stop the restart loop instead of being
+// silently dropped (the bug this test pins down — the restarts used to
+// rebuild Options from scratch, losing Ctx, Workers, Scheduling, and Pool).
+func TestBestRandomInitCancellation(t *testing.T) {
+	x := testTensor(t, 3, 6, 15, 29)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BestRandomInit(x, 5, Options{Rank: 2, Seed: 42, Ctx: ctx})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled context: want ErrCanceled, got %v", err)
+	}
+}
+
+// A caller-provided pool must be borrowed by every restart (no nested pool
+// creation, pool left open); with no pool, all restarts share exactly one.
+func TestBestRandomInitPoolReuse(t *testing.T) {
+	x := testTensor(t, 3, 6, 15, 29)
+
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	before := exec.PoolsCreated()
+	if _, err := BestRandomInit(x, 3, Options{Rank: 2, Seed: 42, Workers: 2, Pool: pool}); err != nil {
+		t.Fatal(err)
+	}
+	if n := exec.PoolsCreated() - before; n != 0 {
+		t.Errorf("caller pool set, yet %d pools were created", n)
+	}
+	// The borrowed pool must still be usable afterwards.
+	if _, err := HOQRI(x, Options{Rank: 2, MaxIters: 1, Workers: 2, Pool: pool}); err != nil {
+		t.Errorf("caller pool unusable after BestRandomInit: %v", err)
+	}
+
+	before = exec.PoolsCreated()
+	if _, err := BestRandomInit(x, 3, Options{Rank: 2, Seed: 42, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := exec.PoolsCreated() - before; n != 1 {
+		t.Errorf("nil pool with 3 restarts: want exactly 1 pool created, got %d", n)
 	}
 }
 

@@ -74,11 +74,17 @@ func HOOICSS(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.Phases.Core += time.Since(t)
 
 		res.Iters = it + 1
+		// nil factor: the ablation drivers do not support checkpointing, so
+		// endIteration only records the trace event.
+		if err := rs.endIteration(it, nil); err != nil {
+			return nil, err
+		}
 		if converged(res, opts.Tol) {
 			res.Converged = true
 			break
 		}
 	}
+	rs.finish()
 	res.U = u
 	return res, nil
 }
@@ -198,6 +204,9 @@ func HOQRINary(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.Phases.QR += time.Since(t)
 
 		res.Iters = it + 1
+		if err := rs.endIteration(it, nil); err != nil {
+			return nil, err
+		}
 		if converged(res, opts.Tol) {
 			res.Converged = true
 			break
@@ -214,6 +223,7 @@ func HOQRINary(x *spsym.Tensor, opts Options) (*Result, error) {
 	}
 	res.CoreP = compactFromFull(nary.CoreFull, x.Order, r)
 	res.Phases.Core += time.Since(t)
+	rs.finish()
 	res.U = u
 	return res, nil
 }

@@ -25,7 +25,7 @@ go build -o "$dir/symprop-gen" ./cmd/symprop-gen
 common=(decompose -rank 8 -algo hooi -iters 40 -tol 0 -seed 7 -workers 2)
 
 echo "resume-smoke: straight run"
-"$dir/symprop" "${common[@]}" -trace "$dir/straight.csv" "$dir/x.tns"
+"$dir/symprop" "${common[@]}" -convergence "$dir/straight.csv" "$dir/x.tns"
 
 echo "resume-smoke: interrupted run"
 "$dir/symprop" "${common[@]}" -checkpoint "$dir/run.ckpt" -checkpoint-every 1 \
@@ -57,7 +57,7 @@ fi
 
 echo "resume-smoke: resumed run"
 "$dir/symprop" "${common[@]}" -checkpoint "$dir/run.ckpt" -resume \
-    -trace "$dir/resumed.csv" "$dir/x.tns"
+    -convergence "$dir/resumed.csv" "$dir/x.tns"
 
 if cmp -s "$dir/straight.csv" "$dir/resumed.csv"; then
     echo "resume-smoke: PASS — resumed trace is bit-identical to the straight run"

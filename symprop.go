@@ -33,6 +33,7 @@ import (
 	"github.com/symprop/symprop/internal/kernels"
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/obs"
 	"github.com/symprop/symprop/internal/spsym"
 	"github.com/symprop/symprop/internal/tucker"
 )
@@ -51,6 +52,26 @@ type Hypergraph = hypergraph.Hypergraph
 // Result is a completed Tucker decomposition: the factor U, the compact
 // core, and per-iteration convergence traces.
 type Result = tucker.Result
+
+// Observability types (see internal/obs and docs/OBSERVABILITY.md):
+// Metrics is the per-plan counter collector the execution engine records
+// into; PlanMetrics is one plan's aggregated counters (Result.PlanMetrics);
+// TraceEvent is one completed sweep's record (Result.Trace); TraceSink
+// receives events as they are produced.
+type (
+	Metrics     = obs.Metrics
+	PlanMetrics = obs.PlanMetrics
+	TraceEvent  = obs.TraceEvent
+	TraceSink   = obs.TraceSink
+)
+
+// NewMetrics returns an empty observability collector, for sharing across
+// runs via Options.Metrics or exporting via expvar.
+func NewMetrics() *Metrics { return obs.New() }
+
+// CreateTraceJSONL creates (truncating) a JSON-Lines trace sink at path for
+// Options.TraceSink; the caller owns Close.
+func CreateTraceJSONL(path string) (*obs.JSONLSink, error) { return obs.CreateJSONL(path) }
 
 // ErrOutOfMemory is returned when an operation would exceed the configured
 // memory budget; detect it with errors.Is.
@@ -162,6 +183,14 @@ type Options struct {
 	// initializing; the resumed run's trace is bit-identical to an
 	// uninterrupted one for the same configuration.
 	Resume bool
+	// Metrics, when non-nil, is the observability collector the run's
+	// kernel plans record into (see NewMetrics); nil uses a private one.
+	// Either way Result.PlanMetrics carries the aggregated counters.
+	Metrics *Metrics
+	// TraceSink, when non-nil, receives every per-sweep TraceEvent as it
+	// is produced, in addition to Result.Trace. Sink errors become health
+	// events, never run failures.
+	TraceSink TraceSink
 }
 
 func (o Options) guard() *memguard.Guard {
@@ -192,6 +221,8 @@ func (o Options) tuckerOptions() tucker.Options {
 		Ctx:             o.Ctx,
 		CheckpointPath:  o.CheckpointPath,
 		CheckpointEvery: o.CheckpointEvery,
+		Metrics:         o.Metrics,
+		TraceSink:       o.TraceSink,
 	}
 }
 
@@ -227,7 +258,8 @@ func Decompose(x *Tensor, opts Options) (*Result, error) {
 // sweep each and returns the best starting factor (the paper's protocol for
 // tensors too large for HOSVD).
 func BestRandomInit(x *Tensor, rank, restarts int, seed int64) (*Matrix, error) {
-	return tucker.BestRandomInit(x, rank, restarts, seed, memguard.FromEnv())
+	return tucker.BestRandomInit(x, restarts,
+		tucker.Options{Rank: rank, Seed: seed, Guard: memguard.FromEnv()})
 }
 
 // KernelOptions configures a standalone kernel invocation.

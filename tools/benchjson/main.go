@@ -33,6 +33,10 @@ type Benchmark struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
 	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric columns keyed by unit — e.g. the
+	// per-plan engine counters the scheduling benchmarks emit
+	// ("s3ttmc.owner-busy-ns/op", "s3ttmc.owner-imbalance").
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Snapshot is the schema of a BENCH_<date>.json file.
@@ -126,15 +130,21 @@ func parseBenchLines(raw string) []Benchmark {
 		}
 		b := Benchmark{Name: fields[0], Iterations: iters, NsPerOp: ns}
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "B/op":
-				b.BytesPerOp = v
+				b.BytesPerOp = int64(v)
 			case "allocs/op":
-				b.AllocsOp = v
+				b.AllocsOp = int64(v)
+			default:
+				// Custom b.ReportMetric columns (unit chosen by the bench).
+				if b.Extra == nil {
+					b.Extra = make(map[string]float64)
+				}
+				b.Extra[unit] = v
 			}
 		}
 		out = append(out, b)

@@ -1,0 +1,159 @@
+// Command obscheck validates the observability artifacts a symprop run
+// emits: the -metrics JSON (aggregated per-plan engine counters) and the
+// -trace JSONL (one event per completed sweep). It is the schema gate
+// behind `make obs-smoke` — a broken field rename or a plan that stops
+// reporting fails CI here instead of silently producing empty dashboards.
+//
+// Usage:
+//
+//	go run ./tools/obscheck -metrics m.json -trace t.jsonl [-sweeps N]
+//
+// Checks:
+//   - metrics parses as a []obs.PlanMetrics with sorted, non-empty names;
+//   - every plan name belongs to the registered plan set (the same names
+//     faultinject sites use), counters are positive and consistent;
+//   - the trace parses line-by-line as obs.TraceEvent with contiguous
+//     sweep indices, and (with -sweeps) exactly N events;
+//   - every plan named in a trace event's deltas also appears in the
+//     metrics aggregate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/symprop/symprop/internal/obs"
+)
+
+// registeredPlanPrefixes mirrors the plan names the kernels register with
+// the engine (see faultinject.RegisterPlan call sites). A metrics entry
+// outside this set means a plan was renamed without updating its
+// registration — exactly the drift this tool exists to catch.
+var registeredPlanPrefixes = []string{
+	"s3ttmc.", "ucoo.", "nary.", "splatt.ttmc", "ttmctc.", "schedule.reduce",
+}
+
+func main() {
+	metricsPath := flag.String("metrics", "", "per-plan metrics JSON file (required)")
+	tracePath := flag.String("trace", "", "iteration trace JSONL file (required)")
+	sweeps := flag.Int("sweeps", -1, "expected number of trace events (-1 = any)")
+	flag.Parse()
+	if *metricsPath == "" || *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	plans, err := checkMetrics(*metricsPath)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := checkTrace(*tracePath, *sweeps, plans)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("obscheck: OK — %d plans, %d trace events\n", len(plans), events)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obscheck:", err)
+	os.Exit(1)
+}
+
+func registered(name string) bool {
+	for _, p := range registeredPlanPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMetrics validates the aggregate file and returns the plan-name set.
+func checkMetrics(path string) (map[string]bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ms []obs.PlanMetrics
+	if err := json.Unmarshal(raw, &ms); err != nil {
+		return nil, fmt.Errorf("%s: not a PlanMetrics array: %w", path, err)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%s: no plans recorded (observability wired up but nothing reported)", path)
+	}
+	plans := make(map[string]bool, len(ms))
+	prev := ""
+	for i, m := range ms {
+		if m.Name == "" {
+			return nil, fmt.Errorf("%s: entry %d has an empty plan name", path, i)
+		}
+		if m.Name <= prev {
+			return nil, fmt.Errorf("%s: plan names not strictly sorted (%q after %q)", path, m.Name, prev)
+		}
+		prev = m.Name
+		if !registered(m.Name) {
+			return nil, fmt.Errorf("%s: plan %q is not in the registered plan set %v", path, m.Name, registeredPlanPrefixes)
+		}
+		if m.Invocations <= 0 || m.Items < 0 || m.BusyNs < 0 || m.SpanNs < 0 {
+			return nil, fmt.Errorf("%s: plan %q has impossible counters: %+v", path, m.Name, m)
+		}
+		if m.BusyNs > 0 && m.Imbalance < 1 {
+			return nil, fmt.Errorf("%s: plan %q imbalance %g < 1 (max/mean busy cannot be below 1)", path, m.Name, m.Imbalance)
+		}
+		plans[m.Name] = true
+	}
+	return plans, nil
+}
+
+// checkTrace validates the JSONL stream and returns the event count.
+func checkTrace(path string, wantSweeps int, plans map[string]bool) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	first := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev obs.TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return 0, fmt.Errorf("%s: line %d: not a TraceEvent: %w", path, n+1, err)
+		}
+		if first == -1 {
+			first = ev.Sweep
+		}
+		// Sweeps are contiguous; a resumed run may start past zero.
+		if ev.Sweep != first+n {
+			return 0, fmt.Errorf("%s: line %d: sweep %d, want %d (events must be contiguous)", path, n+1, ev.Sweep, first+n)
+		}
+		if ev.WallNs < 0 {
+			return 0, fmt.Errorf("%s: sweep %d: negative wall time", path, ev.Sweep)
+		}
+		for name := range ev.Plans {
+			if !plans[name] {
+				return 0, fmt.Errorf("%s: sweep %d: plan %q not present in the metrics aggregate", path, ev.Sweep, name)
+			}
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("%s: empty trace", path)
+	}
+	if wantSweeps >= 0 && n != wantSweeps {
+		return 0, fmt.Errorf("%s: %d trace events, want %d", path, n, wantSweeps)
+	}
+	return n, nil
+}

@@ -249,15 +249,27 @@ func (c *checker) isPlanLit(lit *ast.CompositeLit) bool {
 // per worker slot, concurrently with other slots). Finish is exempt — the
 // engine runs it serially on the caller, so writes to captured state there
 // (stats folds, pool returns) are the intended pattern.
+//
+// It also requires a Name field: exec.Run rejects unnamed plans at runtime
+// (the name keys fault sites, panic attribution, and per-plan metrics), so
+// an unnamed literal is a guaranteed runtime error caught here at lint
+// time. Positional literals (no keys) necessarily set every field, and an
+// empty exec.Plan{} is a zero value, not a plan being configured — both
+// exempt.
 func (c *checker) checkPlanFields(lit *ast.CompositeLit) {
+	named := len(lit.Elts) == 0
 	for _, elt := range lit.Elts {
 		kv, ok := elt.(*ast.KeyValueExpr)
 		if !ok {
+			named = true // positional literal: all fields present
 			continue
 		}
 		key, ok := kv.Key.(*ast.Ident)
 		if !ok {
 			continue
+		}
+		if key.Name == "Name" {
+			named = true
 		}
 		fl, ok := kv.Value.(*ast.FuncLit)
 		if !ok {
@@ -270,6 +282,14 @@ func (c *checker) checkPlanFields(lit *ast.CompositeLit) {
 			c.checkClosure(fl, "plan scratch")
 		}
 	}
+	if named {
+		return
+	}
+	if _, suppressed := c.directives.Suppressed(c.pass.Fset, lit.Pos()); suppressed {
+		return
+	}
+	c.pass.Reportf(lit.Pos(),
+		"exec.Plan literal has no Name field; exec.Run rejects unnamed plans (the name keys fault sites, panic attribution, and per-plan metrics)")
 }
 
 // checkLoopCapture reports loop variables referenced (not redeclared) by a

@@ -98,6 +98,28 @@ func badPlanScratch(xs []float64) error {
 	})
 }
 
+// badUnnamedPlan omits Name: exec.Run rejects it at runtime, so the lint
+// catches it at build time.
+func badUnnamedPlan(xs []float64) error {
+	return exec.Run(exec.Config{}, exec.Plan{ // want `exec.Plan literal has no Name field`
+		Items: len(xs),
+		Body:  func(w *exec.Worker, lo, hi int) error { return nil },
+	})
+}
+
+// blessedUnnamedPlan carries a justified suppression (e.g. a helper that
+// fills Name before running the plan).
+func blessedUnnamedPlan(xs []float64) exec.Plan {
+	//symlint:nosync name filled in by the caller
+	return exec.Plan{
+		Items: len(xs),
+		Body:  func(w *exec.Worker, lo, hi int) error { return nil },
+	}
+}
+
+// zeroPlan is a plain zero value, not a plan being configured; exempt.
+var zeroPlan = exec.Plan{}
+
 // goodPlan is the intended pattern: per-worker scratch keyed by slot,
 // captured-state writes confined to the serial Finish hook.
 func goodPlan(xs []float64) (float64, error) {
