@@ -12,11 +12,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# symlint: the repo's own go/analysis suite (see docs/LINTING.md).
-# Enforces the iterate-engine, parallel-closure, generated-file, and
-# panic-policy invariants across every package.
+# symlint: the repo's own go/analysis suite (see docs/LINTING.md;
+# `go run ./tools/symlint -list` prints the analyzer roster). Enforces
+# the iterate-engine, exec-plan race/heartbeat, determinism, hot-path
+# allocation, generated-file, and panic-policy invariants across every
+# package, the tools, and the commands.
 lint:
-	$(GO) run ./tools/symlint ./...
+	$(GO) run ./tools/symlint ./... ./tools/... ./cmd/...
 
 test:
 	$(GO) test ./...

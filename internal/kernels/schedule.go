@@ -319,6 +319,7 @@ func (s *spillSet) reduceInto(y *linalg.Matrix, workers int, c *ScheduleCache, p
 		Name:  "schedule.reduce",
 		Items: y.Rows,
 		Body: func(_ *exec.Worker, lo, hi int) error {
+			//symlint:tickpoll the reduction carries no context by design (see doc above): it either completes or fails, never half-cancels, preserving the spill-zeroing invariant
 			for i := lo; i < hi; i++ {
 				dst := y.Row(i)
 				for _, sp := range s.bufs {

@@ -85,8 +85,8 @@ func S3TTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*TCResult, error
 	}); err != nil {
 		return nil, err
 	}
-	p := PermCounts(x.Order-1, r)      // diag(M)
-	a := linalg.NewMatrix(x.Dim, r)    // I x R
+	p := PermCounts(x.Order-1, r)   // diag(M)
+	a := linalg.NewMatrix(x.Dim, r) // I x R
 	if err := runMatmul("ttmctc.a", opts, a.Rows, func(lo, hi int) {
 		linalg.MulNTWeightedRange(a, yp, cp, p, lo, hi)
 	}); err != nil {

@@ -3,6 +3,7 @@ package tucker
 import (
 	"errors"
 	"math"
+	"sort"
 
 	"github.com/symprop/symprop/internal/dense"
 	"github.com/symprop/symprop/internal/linalg"
@@ -129,16 +130,25 @@ func buildRemainderGroups(x *spsym.Tensor, guard *memguard.Guard) ([]remainderGr
 		}
 	}
 
+	// Emit groups in sorted-key order, not map order: group order decides
+	// the float accumulation order in the Gram/matrix-free passes below,
+	// and map iteration is randomized per run — bit-identity across runs
+	// requires a fixed order.
+	keys := make([]string, 0, len(byKey))
+	for key := range byKey {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	groups := make([]remainderGroup, 0, len(byKey))
 	restDecoded := make([]int, x.Order-1)
-	for key, exts := range byKey {
+	for _, key := range keys {
 		for j := range restDecoded {
 			restDecoded[j] = int(int32(uint32(key[j*4]) | uint32(key[j*4+1])<<8 |
 				uint32(key[j*4+2])<<16 | uint32(key[j*4+3])<<24))
 		}
 		groups = append(groups, remainderGroup{
 			w:    float64(dense.PermutationCount(restDecoded)),
-			exts: exts,
+			exts: byKey[key],
 		})
 	}
 	return groups, nil

@@ -30,6 +30,14 @@ type Analyzer struct {
 	// diagnostics via pass.Report. The result value is unused by the
 	// driver but kept for x/tools signature compatibility.
 	Run func(*Pass) (any, error)
+
+	// FactTypes declares the concrete Fact types this analyzer exports
+	// and imports (one zero value per type). An analyzer that uses
+	// Pass.ExportObjectFact / ImportObjectFact without declaring the
+	// type panics — the same discipline as x/tools. Analyzers with fact
+	// types see packages in dependency order, so facts about a helper
+	// are available when its callers are analyzed.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -50,7 +58,23 @@ type Pass struct {
 
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+
+	// facts is the driver-run-wide fact store, shared by every pass of
+	// the same analyzer; nil when the analyzer declares no FactTypes.
+	facts *factStore
 }
+
+// SetFactStore installs a fact store on the pass. It is exported for
+// analysistest, which builds passes by hand; the driver wires it
+// internally.
+func (p *Pass) SetFactStore(s *FactStore) { p.facts = (*factStore)(s) }
+
+// A FactStore is an opaque cross-package fact container. Create one per
+// logical "run" spanning multiple hand-built passes (analysistest).
+type FactStore factStore
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore { return (*FactStore)(newFactStore()) }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {

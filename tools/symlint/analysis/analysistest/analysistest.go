@@ -14,12 +14,16 @@
 //
 // Fixture packages live under testdata/ (so the go tool ignores them) and
 // may import both standard-library and real module packages: imports are
-// resolved through the loader's export-data importer.
+// resolved through the loader's export-data importer. Analyzers with
+// cross-package facts are tested with RunDirs, which analyzes several
+// fixture packages in order over one shared fact store — fixture imports
+// of earlier fixture packages resolve to their source-checked form.
 package analysistest
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -31,55 +35,88 @@ import (
 	"github.com/symprop/symprop/tools/symlint/analysis"
 )
 
-// Run analyzes the fixture package in dir (a directory of .go files,
-// typically testdata/src/<name>) under the given import path and reports
-// mismatches between diagnostics and want comments via t.
+// A Dir names one fixture package: a directory of .go files (typically
+// testdata/src/<name>) and the import path it is type-checked as.
+type Dir struct {
+	Path       string
+	ImportPath string
+}
+
+// Run analyzes the fixture package in dir under the given import path and
+// reports mismatches between diagnostics and want comments via t.
 func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	RunDirs(t, a, Dir{Path: dir, ImportPath: importPath})
+}
+
+// RunDirs analyzes several fixture packages in the given order with one
+// shared fact store: facts the analyzer exports while visiting an early
+// package are importable while visiting a later one, and later fixtures
+// may import earlier ones by their declared import paths. Diagnostics
+// from every package are matched against the union of want comments.
+func RunDirs(t *testing.T, a *analysis.Analyzer, dirs ...Dir) {
 	t.Helper()
 
 	modRoot, modPath := ModuleRoot(t)
 	loader := analysis.NewLoader(modRoot)
-
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("reading fixture dir: %v", err)
-	}
-	var paths []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			paths = append(paths, filepath.Join(dir, e.Name()))
-		}
-	}
-	if len(paths) == 0 {
-		t.Fatalf("no fixture files in %s", dir)
-	}
-	files, err := analysis.ParseFiles(loader.Fset(), paths)
-	if err != nil {
-		t.Fatalf("parsing fixtures: %v", err)
+	imp := &fixtureImporter{
+		local:    make(map[string]*types.Package),
+		fallback: loader.Importer(),
 	}
 
-	pkg, info, typeErrs := loader.TypeCheck(importPath, files)
-	for _, err := range typeErrs {
-		t.Errorf("fixture type error: %v", err)
-	}
-	if t.Failed() {
-		t.FailNow()
+	var store *analysis.FactStore
+	if len(a.FactTypes) > 0 {
+		store = analysis.NewFactStore()
 	}
 
-	wants := collectWants(t, loader.Fset(), files)
-
+	wants := make(map[lineKey][]*want)
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      loader.Fset(),
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
-		Module:    &analysis.Module{Path: modPath, Dir: modRoot},
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s: %v", a.Name, err)
+
+	for _, d := range dirs {
+		entries, err := os.ReadDir(d.Path)
+		if err != nil {
+			t.Fatalf("reading fixture dir: %v", err)
+		}
+		var paths []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				paths = append(paths, filepath.Join(d.Path, e.Name()))
+			}
+		}
+		if len(paths) == 0 {
+			t.Fatalf("no fixture files in %s", d.Path)
+		}
+		files, err := analysis.ParseFiles(loader.Fset(), paths)
+		if err != nil {
+			t.Fatalf("parsing fixtures: %v", err)
+		}
+
+		pkg, info, typeErrs := loader.TypeCheckWith(d.ImportPath, files, imp)
+		for _, err := range typeErrs {
+			t.Errorf("fixture type error: %v", err)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+		imp.local[d.ImportPath] = pkg
+
+		collectWants(t, loader.Fset(), files, wants)
+
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      loader.Fset(),
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Module:    &analysis.Module{Path: modPath, Dir: modRoot},
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if store != nil {
+			pass.SetFactStore(store)
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s on %s: %v", a.Name, d.ImportPath, err)
+		}
 	}
 
 	// Match each diagnostic to one unused expectation on its line.
@@ -117,6 +154,28 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
 	}
 }
 
+// fixtureImporter resolves already-type-checked fixture packages before
+// falling back to the loader's export-data importer, so one fixture
+// package can import another by its declared path.
+type fixtureImporter struct {
+	local    map[string]*types.Package
+	fallback types.ImporterFrom
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.local[path]; ok {
+		return p, nil
+	}
+	return fi.fallback.Import(path)
+}
+
+func (fi *fixtureImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := fi.local[path]; ok {
+		return p, nil
+	}
+	return fi.fallback.ImportFrom(path, dir, mode)
+}
+
 type lineKey struct {
 	file string
 	line int
@@ -127,11 +186,10 @@ type want struct {
 	used bool
 }
 
-// collectWants extracts `// want "re" ...` expectations, keyed by the file
-// and line the comment sits on.
-func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*want {
+// collectWants extracts `// want "re" ...` expectations into wants, keyed
+// by the file and line the comment sits on.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File, wants map[lineKey][]*want) {
 	t.Helper()
-	wants := make(map[lineKey][]*want)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -162,7 +220,6 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[line
 			}
 		}
 	}
-	return wants
 }
 
 // ModuleRoot walks up from the working directory to the enclosing go.mod

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+)
+
+// A Fact is a piece of analyzer-produced knowledge about a program object
+// (typically a function) that outlives the package the object was declared
+// in: an analyzer exports facts while visiting a package and imports them
+// when a later package calls into it. It mirrors the x/tools
+// analysis.Fact shape minus gob serialization — this driver analyzes the
+// whole module in one process, so facts live in memory.
+//
+// Because target packages are type-checked from source while their
+// importers see them through compiler export data, the same function is
+// represented by *different* types.Object instances in the two views.
+// Facts are therefore keyed by (package path, object name), not object
+// identity; that restricts them to package-level objects, which is all
+// the symlint analyzers need.
+type Fact interface {
+	AFact() // dummy marker method, as in x/tools
+}
+
+// factKey identifies one exported fact: the object's package path and
+// name plus the concrete fact type (one analyzer may export several).
+type factKey struct {
+	pkg  string
+	name string
+	typ  reflect.Type
+}
+
+// A factStore holds every fact exported during one driver run. One store
+// is shared by all packages of a Run invocation; analyzers are isolated
+// from each other by fact type.
+type factStore struct {
+	m map[factKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[factKey]Fact)}
+}
+
+// objectKey resolves obj to its cross-package identity, reporting ok =
+// false for objects facts cannot be attached to (nil, blank, or
+// non-package-level with no stable name).
+func objectKey(obj types.Object, fact Fact) (factKey, bool) {
+	if obj == nil || obj.Name() == "" || obj.Name() == "_" || obj.Pkg() == nil {
+		return factKey{}, false
+	}
+	name := obj.Name()
+	// Methods get a stable "Recv.Name" key so facts survive the
+	// source-view/export-view object split.
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+	}
+	return factKey{pkg: obj.Pkg().Path(), name: name, typ: reflect.TypeOf(fact)}, true
+}
+
+// ExportObjectFact associates fact with obj for the rest of the driver
+// run. The fact must be one of the analyzer's declared FactTypes and obj
+// must be a named package-level object (or method); violations panic, as
+// they are analyzer bugs, not target-code findings.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		panic("analysis: ExportObjectFact called by analyzer " + p.Analyzer.Name + " without declared FactTypes")
+	}
+	p.checkFactType(fact)
+	key, ok := objectKey(obj, fact)
+	if !ok {
+		panic(fmt.Sprintf("analysis: cannot attach fact %T to object %v", fact, obj))
+	}
+	p.facts.m[key] = fact
+}
+
+// ImportObjectFact copies the fact previously exported for obj (possibly
+// by a pass over another package) into ptr, reporting whether one was
+// found. ptr must be a pointer to the same concrete fact type.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	p.checkFactType(ptr)
+	key, ok := objectKey(obj, ptr)
+	if !ok {
+		return false
+	}
+	fact, ok := p.facts.m[key]
+	if !ok {
+		return false
+	}
+	rv := reflect.ValueOf(ptr).Elem()
+	rv.Set(reflect.ValueOf(fact).Elem())
+	return true
+}
+
+// checkFactType panics unless fact matches one of the analyzer's declared
+// FactTypes — the same discipline the x/tools driver enforces.
+func (p *Pass) checkFactType(fact Fact) {
+	for _, ft := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(ft) == reflect.TypeOf(fact) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("analysis: analyzer %s used fact type %T without declaring it in FactTypes", p.Analyzer.Name, fact))
+}

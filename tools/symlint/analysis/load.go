@@ -212,6 +212,13 @@ func ParseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
 // errors are collected rather than aborting, so analyzers can still run on
 // slightly broken fixture code.
 func (l *Loader) TypeCheck(importPath string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	return l.TypeCheckWith(importPath, files, l.imp)
+}
+
+// TypeCheckWith is TypeCheck with an explicit importer — analysistest
+// chains one source-checked fixture package into the imports of the next,
+// falling back to the loader's export data for everything else.
+func (l *Loader) TypeCheckWith(importPath string, files []*ast.File, imp types.ImporterFrom) (*types.Package, *types.Info, []error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -223,7 +230,7 @@ func (l *Loader) TypeCheck(importPath string, files []*ast.File) (*types.Package
 	}
 	var softErrs []error
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: imp,
 		Error:    func(err error) { softErrs = append(softErrs, err) },
 	}
 	pkg, err := conf.Check(importPath, l.fset, files, info)

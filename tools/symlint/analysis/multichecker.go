@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -15,23 +17,37 @@ import (
 // printing diagnostics in file:line:col order. It exits 0 when clean, 1
 // when any diagnostic was reported, and 2 on usage or load errors.
 func Main(analyzers ...*Analyzer) {
-	fs := flag.NewFlagSet("symlint", flag.ExitOnError)
+	os.Exit(MainExitCode(os.Args[1:], os.Stdout, os.Stderr, analyzers))
+}
+
+// MainExitCode is Main's testable core: it parses args, runs the selected
+// analyzers, writes diagnostics to stdout and errors to stderr, and
+// returns the process exit code (0 clean, 1 findings, 2 usage/load/
+// type-check error) instead of exiting.
+func MainExitCode(args []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
+	fs := flag.NewFlagSet("symlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic (file/line/col/analyzer/message) instead of text")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: symlint [-only a,b] [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: symlint [-only a,b] [-list] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
 		}
 		fs.PrintDefaults()
 	}
-	fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
+		// -list is the registry of record: docs/LINTING.md points here
+		// instead of hand-maintaining the analyzer roster.
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
 		}
-		return
+		return 0
 	}
 
 	selected := analyzers
@@ -44,8 +60,8 @@ func Main(analyzers ...*Analyzer) {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "symlint: unknown analyzer %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "symlint: unknown analyzer %q\n", name)
+				return 2
 			}
 			selected = append(selected, a)
 		}
@@ -58,21 +74,31 @@ func Main(analyzers ...*Analyzer) {
 
 	wd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "symlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "symlint:", err)
+		return 2
 	}
 	diags, err := Run(wd, patterns, selected)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "symlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "symlint:", err)
+		return 2
 	}
 	for _, d := range diags {
-		fmt.Println(d)
+		if *jsonOut {
+			enc, err := json.Marshal(d.JSON())
+			if err != nil {
+				fmt.Fprintln(stderr, "symlint: encoding diagnostic:", err)
+				return 2
+			}
+			fmt.Fprintln(stdout, string(enc))
+		} else {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if n := len(diags); n > 0 {
-		fmt.Fprintf(os.Stderr, "symlint: %d issue(s) found\n", n)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "symlint: %d issue(s) found\n", n)
+		return 1
 	}
+	return 0
 }
 
 // A PrintedDiagnostic is a fully resolved diagnostic with its position
@@ -87,15 +113,47 @@ func (d PrintedDiagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
 }
 
+// JSONDiagnostic is the -json wire shape: one object per line, consumed
+// by the CI lint step to surface findings as structured annotations.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSON converts the diagnostic to its -json wire shape.
+func (d PrintedDiagnostic) JSON() JSONDiagnostic {
+	return JSONDiagnostic{
+		File:     d.Position.Filename,
+		Line:     d.Position.Line,
+		Col:      d.Position.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+}
+
 // Run loads the packages matching patterns from dir and applies the
 // analyzers, returning diagnostics sorted by position. Type-check errors in
 // the loaded packages are returned as errors: symlint requires a tree that
 // compiles.
+//
+// Packages are visited in dependency order (imports before importers)
+// so analyzers with FactTypes see helper facts before analyzing callers;
+// every analyzer with fact types shares one fact store across the run.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]PrintedDiagnostic, error) {
 	loader := NewLoader(dir)
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		return nil, err
+	}
+	pkgs = dependencyOrder(pkgs)
+	stores := make(map[*Analyzer]*factStore)
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			stores[a] = newFactStore()
+		}
 	}
 	var diags []PrintedDiagnostic
 	for _, pkg := range pkgs {
@@ -110,6 +168,7 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]PrintedDiagnos
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				Module:    pkg.Module,
+				facts:     stores[a],
 			}
 			name := a.Name
 			pass.Report = func(d Diagnostic) {
@@ -138,6 +197,40 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]PrintedDiagnos
 		return a.Message < b.Message
 	})
 	return diags, nil
+}
+
+// dependencyOrder sorts the loaded packages so that every package comes
+// after the loaded packages it imports (depth-first postorder over the
+// import edges restricted to the loaded set). Cycles cannot occur in a
+// valid Go build; ties keep the loader's original (go list) order.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	ordered := make([]*Package, 0, len(pkgs))
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			return
+		}
+		state[p.ImportPath] = 1
+		if p.Types != nil {
+			for _, imp := range p.Types.Imports() {
+				if dep, ok := byPath[imp.Path()]; ok {
+					visit(dep)
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		ordered = append(ordered, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return ordered
 }
 
 func firstLine(s string) string {

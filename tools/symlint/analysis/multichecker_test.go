@@ -1,0 +1,183 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis"
+)
+
+// toyFact is a minimal cross-package fact for driver tests.
+type toyFact struct{ Name string }
+
+func (*toyFact) AFact() {}
+
+// factAnalyzer exports a toyFact for every package-level function and
+// reports every cross-package call whose callee has one — so a
+// diagnostic proves the callee's package was analyzed first and the
+// shared store carried the fact across.
+var factAnalyzer = &analysis.Analyzer{
+	Name:      "toyfacts",
+	Doc:       "driver test: round-trips facts across packages",
+	FactTypes: []analysis.Fact{(*toyFact)(nil)},
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || fd.Name.Name == "_" || fd.Name.Name == "init" {
+					continue
+				}
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					pass.ExportObjectFact(obj, &toyFact{Name: obj.Name()})
+				}
+			}
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+					return true
+				}
+				var tf toyFact
+				if pass.ImportObjectFact(fn, &tf) {
+					pass.Reportf(call.Pos(), "imported fact for %s", tf.Name)
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// TestRunFactsCrossPackage hands the driver the patterns in
+// anti-dependency order and checks that facts exported while analyzing
+// internal/dense are imported at call sites in internal/kernels — i.e.
+// dependencyOrder re-sorted the packages and the store is shared.
+func TestRunFactsCrossPackage(t *testing.T) {
+	diags, err := analysis.Run(moduleRoot(t),
+		[]string{"./internal/kernels", "./internal/dense"},
+		[]*analysis.Analyzer{factAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Position.Filename, filepath.Join("internal", "kernels")) &&
+			strings.Contains(d.Message, "imported fact for") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no cross-package fact import reported in internal/kernels; got %d diagnostics", len(diags))
+	}
+}
+
+// brokenModule writes a standalone module whose single package has a type
+// error and returns its directory.
+func brokenModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module broken.example\n\ngo 1.24\n")
+	writeFile("broken.go", "package broken\n\nfunc f() int { return \"not an int\" }\n")
+	return dir
+}
+
+// TestRunTypeCheckFailure: a package that does not type-check must come
+// back as a reported error — not a panic, and not a silently skipped
+// package.
+func TestRunTypeCheckFailure(t *testing.T) {
+	dir := brokenModule(t)
+	diags, err := analysis.Run(dir, []string{"./..."}, []*analysis.Analyzer{factAnalyzer})
+	if err == nil {
+		t.Fatalf("Run succeeded on a broken package with %d diagnostics; want type-check error", len(diags))
+	}
+	// The failure may surface through go list (compile error in export
+	// data) or through the loader's own type-check; either way the error
+	// must name the package and the offending position.
+	if !strings.Contains(err.Error(), "broken.example") {
+		t.Fatalf("error %q does not name the failing package", err)
+	}
+	if !strings.Contains(err.Error(), "broken.go:3") {
+		t.Fatalf("error %q does not point at the broken source line", err)
+	}
+}
+
+// TestMainExitCodeBrokenPackage: the CLI surface of the same failure is
+// exit code 2 with the error on stderr and nothing on stdout.
+func TestMainExitCodeBrokenPackage(t *testing.T) {
+	t.Chdir(brokenModule(t))
+	var stdout, stderr bytes.Buffer
+	code := analysis.MainExitCode([]string{"./..."}, &stdout, &stderr, []*analysis.Analyzer{factAnalyzer})
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "broken.go:3") {
+		t.Fatalf("stderr %q does not report the type-check failure", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("stdout not empty on load failure: %q", stdout.String())
+	}
+}
+
+// TestMainExitCodeJSON checks the -json wire shape: one object per line,
+// findings exit code 1.
+func TestMainExitCodeJSON(t *testing.T) {
+	t.Chdir(moduleRoot(t))
+	var stdout, stderr bytes.Buffer
+	code := analysis.MainExitCode([]string{"-json", "./internal/kernels", "./internal/dense"},
+		&stdout, &stderr, []*analysis.Analyzer{factAnalyzer})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings); stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON diagnostics on stdout")
+	}
+	for _, line := range lines {
+		var d analysis.JSONDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q is not a JSON diagnostic: %v", line, err)
+		}
+		if d.File == "" || d.Line < 1 || d.Col < 1 || d.Analyzer != "toyfacts" || d.Message == "" {
+			t.Fatalf("incomplete JSON diagnostic: %+v", d)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Fatalf("JSON diagnostic file not relativized: %s", d.File)
+		}
+	}
+}
+
+// TestMainExitCodeList: -list prints every registered analyzer and
+// exits 0 — it is the roster docs/LINTING.md defers to.
+func TestMainExitCodeList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := analysis.MainExitCode([]string{"-list"}, &stdout, &stderr,
+		[]*analysis.Analyzer{factAnalyzer})
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "toyfacts") {
+		t.Fatalf("-list output missing analyzer: %q", stdout.String())
+	}
+}

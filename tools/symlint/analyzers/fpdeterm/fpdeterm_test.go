@@ -1,0 +1,20 @@
+package fpdeterm_test
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis/analysistest"
+	"github.com/symprop/symprop/tools/symlint/analyzers/fpdeterm"
+)
+
+// TestNumericCore runs the full rule set inside a package path the
+// determinism contract covers.
+func TestNumericCore(t *testing.T) {
+	analysistest.Run(t, fpdeterm.Analyzer, "testdata/src/kernels", "fixture.example/internal/kernels")
+}
+
+// TestOutsideCore checks the scoping: map-range and global-rand rules
+// stay quiet outside the numeric core, the plan-clock rule does not.
+func TestOutsideCore(t *testing.T) {
+	analysistest.Run(t, fpdeterm.Analyzer, "testdata/src/other", "fixture.example/other")
+}

@@ -1,0 +1,155 @@
+// Package kernels exercises the determinism checks from inside a package
+// whose import path ends in internal/kernels, where the bit-identity
+// contract applies in full.
+package kernels
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/symprop/symprop/internal/exec"
+)
+
+// badMapAccum folds floats in map-iteration order.
+func badMapAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation inside range over map`
+	}
+	return sum
+}
+
+// badMapIndexedAccum hits an outer float slice from map order; elements
+// shared between keys see order-dependent rounding.
+func badMapIndexedAccum(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k%4] += v // want `float accumulation inside range over map`
+	}
+}
+
+// badMapAppend freezes map order into the output slice.
+func badMapAppend(m map[string][]float64) [][]float64 {
+	var groups [][]float64
+	for _, exts := range m {
+		groups = append(groups, exts) // want `append inside range over map fixes the output order`
+	}
+	return groups
+}
+
+// goodSortedKeys is the sanctioned remediation: collecting the keys
+// themselves is quiet, and the sorted second loop is not a map range.
+func goodSortedKeys(m map[string][]float64) [][]float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	groups := make([][]float64, 0, len(m))
+	for _, k := range keys {
+		groups = append(groups, m[k])
+	}
+	return groups
+}
+
+// goodSliceAccum: slice iteration order is deterministic.
+func goodSliceAccum(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// goodLoopLocalAccum: per-iteration state cannot leak iteration order.
+func goodLoopLocalAccum(m map[string][]float64, out map[string]float64) {
+	for k, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		out[k] = local
+	}
+}
+
+// goodIntCount: integer accumulation commutes exactly; map order cannot
+// change the result.
+func goodIntCount(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	return n
+}
+
+// badGlobalRand draws from the global source.
+func badGlobalRand(xs []float64) {
+	for i := range xs {
+		xs[i] = rand.Float64() // want `rand.Float64 draws from the global rand source`
+	}
+	rand.Shuffle(len(xs), func(i, j int) { // want `rand.Shuffle draws from the global rand source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// goodSeededRand threads explicit seeded state.
+func goodSeededRand(xs []float64, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+}
+
+// badPlanClock reads the wall clock inside plan callbacks.
+func badPlanClock(xs, out []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-plan-clock",
+		Items: len(xs),
+		Scratch: func(w *exec.Worker) error {
+			w.Scratch = time.Now() // want `Now reads the wall clock inside a plan scratch`
+			return nil
+		},
+		Body: func(w *exec.Worker, lo, hi int) error {
+			start := time.Now() // want `Now reads the wall clock inside a plan body`
+			for i := lo; i < hi; i++ {
+				if err := w.Tick(i); err != nil {
+					return err
+				}
+				out[i] = xs[i]
+			}
+			_ = time.Since(start) // want `Since reads the wall clock inside a plan body`
+			return nil
+		},
+	})
+}
+
+// goodOutsideClock: timing around the plan is telemetry, not a finding.
+func goodOutsideClock(xs, out []float64) time.Duration {
+	start := time.Now()
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.good-outside-clock",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := w.Tick(i); err != nil {
+					return err
+				}
+				out[i] = xs[i]
+			}
+			return nil
+		},
+	})
+	return time.Since(start)
+}
+
+// suppressedMapAccum documents why map order is harmless here.
+func suppressedMapAccum(m map[string]float64) float64 {
+	max := 0.0
+	for _, v := range m {
+		if v > max {
+			//symlint:fpdeterm fixture: max is order-independent, compound-assign form keeps parity with the sum variant
+			max += v - max
+		}
+	}
+	return max
+}

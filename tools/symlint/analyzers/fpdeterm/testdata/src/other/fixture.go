@@ -1,0 +1,38 @@
+// Package other sits outside the numeric core (its import path ends in
+// neither internal/kernels, internal/tucker, nor internal/linalg): the
+// map-range and global-rand rules do not apply here, but the plan-closure
+// clock rule follows exec.Plan literals into any package.
+package other
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/symprop/symprop/internal/exec"
+)
+
+// mapOrderOutsideCore is quiet: no determinism contract in this package.
+func mapOrderOutsideCore(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// globalRandOutsideCore is quiet for the same reason.
+func globalRandOutsideCore() float64 {
+	return rand.Float64()
+}
+
+// planClockAnywhere still trips the closure rule.
+func planClockAnywhere(xs []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.other-plan-clock",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			_ = time.Now() // want `Now reads the wall clock inside a plan body`
+			return nil
+		},
+	})
+}

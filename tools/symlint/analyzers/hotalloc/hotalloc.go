@@ -1,0 +1,186 @@
+// Package hotalloc defines the analyzer keeping allocations out of the
+// execution engine's per-item hot path: the loops inside an exec.Plan
+// Body closure.
+//
+// A plan body runs once per worker range, but its loops run once per
+// non-zero — for the kernels this repository cares about, that is
+// millions to billions of iterations. An allocation there is not a
+// performance rounding error: it turns the kernel's steady state into
+// a GC treadmill and destroys the cache locality the CSF/lattice layouts
+// exist to provide. The engine's answer is preallocation: per-range
+// state is built at the top of the Body (before the loop), per-worker
+// state lives in w.Scratch (filled by the Scratch hook, typically from a
+// WorkspacePool), and reduction buffers come from the spill machinery.
+//
+// Inside any loop within a Body closure — including loops in nested
+// function literals, which per-item callbacks run just as hot — the
+// analyzer reports:
+//
+//   - make(...) — build the buffer before the loop or in w.Scratch;
+//   - new(T) and &T{...} composite-literal escapes — reuse one struct
+//     per range or per worker;
+//   - append to a slice declared inside the loop — per-iteration growth
+//     re-allocates every iteration; appends to longer-lived slices grow
+//     amortized and are planrace's concern, not hotalloc's;
+//   - storing a non-pointer-shaped value into an interface — the boxing
+//     allocates; w.Scratch stores (interface-typed by design) should
+//     happen once, in the Scratch hook.
+//
+// Allocations at the top level of the Body closure (once per range) and
+// in Scratch/Finish hooks (once per worker) are deliberate and exempt.
+// Findings are suppressed with a justified //symlint:hotalloc directive
+// on or above the line.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/symprop/symprop/tools/symlint/analysis"
+	"github.com/symprop/symprop/tools/symlint/analyzers/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "checks for allocations (make, new, composite-literal escapes, per-iteration append growth, interface boxing) inside exec.Plan body loops\n\n" +
+		"Plan-body loops run once per non-zero; preallocate at the top of the Body, in w.Scratch, or from a WorkspacePool.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if lintutil.IsGenerated(f) {
+			continue
+		}
+		c := &checker{pass: pass, directives: lintutil.Collect(pass.Fset, f, "hotalloc")}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !lintutil.IsExecPlanLit(pass.TypesInfo, lit) {
+				return true
+			}
+			if cb := lintutil.DissectPlanLit(lit); cb.Body != nil {
+				c.checkBody(cb.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	directives lintutil.Directives
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if _, suppressed := c.directives.Suppressed(c.pass.Fset, pos); suppressed {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// checkBody descends into the body closure and checks every loop it
+// finds, at any nesting depth including nested function literals.
+func (c *checker) checkBody(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			c.checkLoop(loop.Body, loop)
+			return false
+		case *ast.RangeStmt:
+			c.checkLoop(loop.Body, loop)
+			return false
+		}
+		return true
+	})
+}
+
+// checkLoop reports allocations anywhere inside one loop body (nested
+// loops included — they are at least as hot).
+func (c *checker) checkLoop(body *ast.BlockStmt, loop ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n, loop)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(n.Pos(),
+						"composite literal address in plan-body loop allocates per iteration; hoist one struct above the loop (or into w.Scratch) and reset it in place")
+				}
+			}
+		case *ast.AssignStmt:
+			c.checkBoxing(n)
+		}
+		return true
+	})
+}
+
+// checkCall reports the allocating builtins.
+func (c *checker) checkCall(call *ast.CallExpr, loop ast.Node) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	switch id.Name {
+	case "make":
+		c.report(call.Pos(),
+			"make in plan-body loop allocates per iteration; build the buffer once at the top of the Body or keep it in w.Scratch (WorkspacePool)")
+	case "new":
+		c.report(call.Pos(),
+			"new in plan-body loop allocates per iteration; hoist the value above the loop or into w.Scratch and reset it in place")
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		root := lintutil.RootIdent(call.Args[0])
+		if root == nil {
+			return
+		}
+		obj := c.pass.TypesInfo.Uses[root]
+		if obj == nil || !lintutil.DeclaredWithin(obj.Pos(), loop) {
+			// Appends to longer-lived slices grow amortized; whether the
+			// slice may be shared across workers is planrace's call.
+			return
+		}
+		c.report(call.Pos(),
+			"append to loop-local slice %s re-allocates every iteration (the slice is discarded and regrown); hoist it above the loop and reset with s = s[:0]", root.Name)
+	}
+}
+
+// checkBoxing reports stores of non-pointer-shaped values into
+// interface-typed locations — each such store allocates the box.
+func (c *checker) checkBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := c.pass.TypesInfo.TypeOf(lhs)
+		if lt == nil {
+			continue
+		}
+		if _, isIface := lt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		rt := c.pass.TypesInfo.TypeOf(as.Rhs[i])
+		if rt == nil || !boxes(rt) {
+			continue
+		}
+		c.report(lhs.Pos(),
+			"storing a %s into an interface in a plan-body loop allocates the box per iteration; store once per worker (Scratch hook) or keep the concrete type", rt.String())
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: true for every concrete type that is not pointer-shaped.
+func boxes(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}

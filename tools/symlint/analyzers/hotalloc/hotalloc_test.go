@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis/analysistest"
+	"github.com/symprop/symprop/tools/symlint/analyzers/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/src/hotalloc", "fixture.example/hotalloc")
+}

@@ -1,0 +1,162 @@
+// exec.go: helpers shared by the exec-runtime analyzers (planrace,
+// tickpoll, fpdeterm, hotalloc) for recognizing execution-engine plans
+// and dissecting their callback closures.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EnginePkgSuffix matches the execution-engine package both as the real
+// module package and as fixture packages named <anything>/internal/exec.
+const (
+	EnginePkgSuffix = "internal/exec"
+	PlanTypeName    = "Plan"
+	WorkerTypeName  = "Worker"
+)
+
+// IsExecPlanLit reports whether lit constructs the engine's Plan type.
+func IsExecPlanLit(info *types.Info, lit *ast.CompositeLit) bool {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != PlanTypeName {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && PathMatches(pkg.Path(), []string{EnginePkgSuffix})
+}
+
+// PlanCallbacks is the dissected view of one exec.Plan literal: the
+// callback closures given as function literals (nil when absent or not a
+// literal) and whether a Name field was set.
+type PlanCallbacks struct {
+	Named   bool
+	Body    *ast.FuncLit
+	Scratch *ast.FuncLit
+	Finish  *ast.FuncLit
+}
+
+// DissectPlanLit extracts the callback closures of an exec.Plan composite
+// literal. Positional literals (no keys) necessarily set every field and
+// are reported as Named; empty literals are zero values, also Named.
+func DissectPlanLit(lit *ast.CompositeLit) PlanCallbacks {
+	cb := PlanCallbacks{Named: len(lit.Elts) == 0}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			cb.Named = true // positional literal: all fields present
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if key.Name == "Name" {
+			cb.Named = true
+		}
+		fl, _ := kv.Value.(*ast.FuncLit)
+		if fl == nil {
+			continue
+		}
+		switch key.Name {
+		case "Body":
+			cb.Body = fl
+		case "Scratch":
+			cb.Scratch = fl
+		case "Finish":
+			cb.Finish = fl
+		}
+	}
+	return cb
+}
+
+// IsWorkerTick reports whether call invokes the Tick method of the
+// engine's *exec.Worker.
+func IsWorkerTick(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Tick" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != WorkerTypeName {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && PathMatches(pkg.Path(), []string{EnginePkgSuffix})
+}
+
+// RootIdent peels selectors, indexes, stars and parens down to the base
+// identifier of an lvalue chain, e.g. y.Data[i] -> y. It returns nil when
+// the chain passes through a call or any other expression form.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// LocksSyncMutex reports whether node calls Lock or RLock from package
+// sync anywhere inside — the shared "visibly synchronizes; trust it"
+// exemption used by the closure analyzers and the write-fact inference.
+func LocksSyncMutex(info *types.Info, node ast.Node) bool {
+	locked := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !locked
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return !locked
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+			if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "sync" {
+				locked = true
+			}
+		}
+		return !locked
+	})
+	return locked
+}
+
+// Callee resolves call's target to its *types.Func, nil when it is not a
+// plain or selector-qualified function reference.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -5,8 +5,9 @@
 // linalg.ParallelFor* shims wrap), whose contract is: the body closure
 // owns the half-open chunk [lo, hi) and may write shared state only at
 // indices derived from it. The analyzer inspects every closure passed to
-// those helpers, every Body/Scratch callback of an exec.Plan literal, and
-// every `go func` literal for the race classes that contract rules out:
+// the bare fan-out helpers and every `go func` literal for the race
+// classes that contract rules out (exec.Plan literals have their own,
+// deeper analyzer: planrace):
 //
 //   - assignment to a captured variable (racy accumulation — reduce into a
 //     per-chunk local and merge after the parallel region);
@@ -47,10 +48,10 @@ var (
 	// EngineFuncs are the execution engine's bare fan-out primitives
 	// (exec.For, exec.Chunks); their body closures obey the same chunk
 	// contract as the linalg shims and get the same checks. Closures in
-	// an exec.Plan literal's Body and Scratch fields are checked too.
+	// an exec.Plan literal's Body and Scratch fields belong to the
+	// planrace analyzer, which adds cross-package write facts.
 	EngineFuncs     = map[string]bool{"For": true, "Chunks": true}
 	EnginePkgSuffix = "internal/exec"
-	PlanTypeName    = "Plan"
 
 	// KernelPkgSuffixes are packages whose parallel loops must run as
 	// engine plans (exec.Run): a direct call to a linalg.ParallelFor*
@@ -141,14 +142,6 @@ func (c *checker) walk(n ast.Node, loopVars []types.Object) {
 			c.walk(child, loopVars)
 		}
 		return
-	case *ast.CompositeLit:
-		if c.isPlanLit(n) {
-			c.checkPlanFields(n)
-		}
-		for _, elt := range n.Elts {
-			c.walk(elt, loopVars)
-		}
-		return
 	case *ast.FuncLit:
 		// Loop variables of the enclosing function are not per-iteration
 		// hazards inside a nested closure body walk; reset the stack.
@@ -228,68 +221,6 @@ func (c *checker) checkShimCaller(call *ast.CallExpr) {
 	c.pass.Reportf(call.Pos(),
 		"kernel package calls linalg.%s directly; run the loop as an exec.Run plan so the engine owns cancellation, panic capture and fault sites",
 		fn.Name())
-}
-
-// isPlanLit reports whether lit constructs the engine's Plan type.
-func (c *checker) isPlanLit(lit *ast.CompositeLit) bool {
-	t := c.pass.TypesInfo.TypeOf(lit)
-	if t == nil {
-		return false
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Name() != PlanTypeName {
-		return false
-	}
-	pkg := named.Obj().Pkg()
-	return pkg != nil && lintutil.PathMatches(pkg.Path(), []string{EnginePkgSuffix})
-}
-
-// checkPlanFields applies the closure checks to an exec.Plan literal's
-// concurrent callbacks: Body (once per chunk per worker) and Scratch (once
-// per worker slot, concurrently with other slots). Finish is exempt — the
-// engine runs it serially on the caller, so writes to captured state there
-// (stats folds, pool returns) are the intended pattern.
-//
-// It also requires a Name field: exec.Run rejects unnamed plans at runtime
-// (the name keys fault sites, panic attribution, and per-plan metrics), so
-// an unnamed literal is a guaranteed runtime error caught here at lint
-// time. Positional literals (no keys) necessarily set every field, and an
-// empty exec.Plan{} is a zero value, not a plan being configured — both
-// exempt.
-func (c *checker) checkPlanFields(lit *ast.CompositeLit) {
-	named := len(lit.Elts) == 0
-	for _, elt := range lit.Elts {
-		kv, ok := elt.(*ast.KeyValueExpr)
-		if !ok {
-			named = true // positional literal: all fields present
-			continue
-		}
-		key, ok := kv.Key.(*ast.Ident)
-		if !ok {
-			continue
-		}
-		if key.Name == "Name" {
-			named = true
-		}
-		fl, ok := kv.Value.(*ast.FuncLit)
-		if !ok {
-			continue
-		}
-		switch key.Name {
-		case "Body":
-			c.checkClosure(fl, "plan body")
-		case "Scratch":
-			c.checkClosure(fl, "plan scratch")
-		}
-	}
-	if named {
-		return
-	}
-	if _, suppressed := c.directives.Suppressed(c.pass.Fset, lit.Pos()); suppressed {
-		return
-	}
-	c.pass.Reportf(lit.Pos(),
-		"exec.Plan literal has no Name field; exec.Run rejects unnamed plans (the name keys fault sites, panic attribution, and per-plan metrics)")
 }
 
 // checkLoopCapture reports loop variables referenced (not redeclared) by a

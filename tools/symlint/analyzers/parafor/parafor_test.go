@@ -12,9 +12,9 @@ func TestParallelClosures(t *testing.T) {
 }
 
 // TestKernelPackageRules checks the engine-era rules from a package whose
-// import path ends in internal/kernels: the linalg shim ban, the exec.For /
-// exec.Chunks closure checks, and the exec.Plan Body/Scratch checks (with
-// the serial Finish hook exempt).
+// import path ends in internal/kernels: the linalg shim ban and the
+// exec.For / exec.Chunks closure checks. exec.Plan callbacks belong to
+// the planrace analyzer and must stay silent here.
 func TestKernelPackageRules(t *testing.T) {
 	analysistest.Run(t, parafor.Analyzer, "testdata/src/kernels", "fixture.example/internal/kernels")
 }

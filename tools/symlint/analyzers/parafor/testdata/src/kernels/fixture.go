@@ -1,7 +1,8 @@
 // Package kernels exercises the engine-era parafor checks from inside a
 // package whose import path ends in internal/kernels: the ban on direct
-// linalg.ParallelFor* shim calls, and the closure checks on exec.For /
-// exec.Chunks bodies and exec.Plan Body/Scratch callbacks.
+// linalg.ParallelFor* shim calls and the closure checks on exec.For /
+// exec.Chunks bodies. exec.Plan Body/Scratch callbacks are the planrace
+// analyzer's territory and are not checked here.
 package kernels
 
 import (
@@ -67,80 +68,19 @@ func goodEngineFor(xs, out []float64) {
 	})
 }
 
-// badPlanBody races on a captured accumulator from a plan body.
-func badPlanBody(xs []float64) (float64, error) {
+// planBodiesAreNotParaforTerritory: plan callbacks are checked by
+// planrace, not parafor — even a racy body must stay silent here.
+func planBodiesAreNotParaforTerritory(xs []float64) (float64, error) {
 	sum := 0.0
 	err := exec.Run(exec.Config{}, exec.Plan{
-		Name:  "fixture.badsum",
+		Name:  "fixture.planrace-owns-this",
 		Items: len(xs),
 		Body: func(w *exec.Worker, lo, hi int) error {
 			for i := lo; i < hi; i++ {
-				sum += xs[i] // want `assigns to captured variable sum`
+				sum += xs[i] // planrace's finding, not parafor's
 			}
 			return nil
 		},
 	})
 	return sum, err
-}
-
-// badPlanScratch writes a fixed slot of captured state from the concurrent
-// per-worker scratch hook.
-func badPlanScratch(xs []float64) error {
-	ready := make([]bool, 8)
-	return exec.Run(exec.Config{}, exec.Plan{
-		Name:  "fixture.badscratch",
-		Items: len(xs),
-		Scratch: func(w *exec.Worker) error {
-			ready[0] = true // want `index that never varies`
-			return nil
-		},
-		Body: func(w *exec.Worker, lo, hi int) error { return nil },
-	})
-}
-
-// badUnnamedPlan omits Name: exec.Run rejects it at runtime, so the lint
-// catches it at build time.
-func badUnnamedPlan(xs []float64) error {
-	return exec.Run(exec.Config{}, exec.Plan{ // want `exec.Plan literal has no Name field`
-		Items: len(xs),
-		Body:  func(w *exec.Worker, lo, hi int) error { return nil },
-	})
-}
-
-// blessedUnnamedPlan carries a justified suppression (e.g. a helper that
-// fills Name before running the plan).
-func blessedUnnamedPlan(xs []float64) exec.Plan {
-	//symlint:nosync name filled in by the caller
-	return exec.Plan{
-		Items: len(xs),
-		Body:  func(w *exec.Worker, lo, hi int) error { return nil },
-	}
-}
-
-// zeroPlan is a plain zero value, not a plan being configured; exempt.
-var zeroPlan = exec.Plan{}
-
-// goodPlan is the intended pattern: per-worker scratch keyed by slot,
-// captured-state writes confined to the serial Finish hook.
-func goodPlan(xs []float64) (float64, error) {
-	partials := make([]float64, 8)
-	total := 0.0
-	err := exec.Run(exec.Config{}, exec.Plan{
-		Name:  "fixture.goodsum",
-		Items: len(xs),
-		Scratch: func(w *exec.Worker) error {
-			partials[w.Index] = 0
-			return nil
-		},
-		Body: func(w *exec.Worker, lo, hi int) error {
-			for i := lo; i < hi; i++ {
-				partials[w.Index] += xs[i]
-			}
-			return nil
-		},
-		Finish: func(w *exec.Worker) {
-			total += partials[w.Index]
-		},
-	})
-	return total, err
 }

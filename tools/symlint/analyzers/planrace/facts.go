@@ -1,0 +1,345 @@
+package planrace
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/symprop/symprop/tools/symlint/analyzers/lintutil"
+)
+
+// exportWriteFact infers which parameters fd writes through and exports
+// the result as a WriteFact. Functions that visibly synchronize (sync
+// Lock/RLock anywhere) or carry a //symlint:partitioned doc directive are
+// trusted and export nothing.
+func (c *checker) exportWriteFact(file *ast.File, fd *ast.FuncDecl) {
+	obj, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	if hasPartitionedDirective(fd.Doc) {
+		return
+	}
+	if lintutil.LocksSyncMutex(c.pass.TypesInfo, fd.Body) {
+		return
+	}
+	inf := newInference(c, fd)
+	fact := inf.run(fd.Body)
+	if len(fact.Writes) > 0 {
+		c.pass.ExportObjectFact(obj, fact)
+	}
+}
+
+// hasPartitionedDirective reports a //symlint:partitioned directive in
+// the function's doc comment. A justification is expected but its absence
+// is not a finding here — docs/LINTING.md states the policy.
+func hasPartitionedDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, cm := range doc.List {
+		if rest, ok := strings.CutPrefix(cm.Text, "//symlint:partitioned"); ok {
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// view describes how an expression relates to one of the function's
+// writable parameters: which parameter it aliases and whether the view
+// was narrowed by an index derived from the function's int parameters
+// (c.Row(i) with i an int param is a partitioned view of c).
+type view struct {
+	index       int // parameter position, receiver = -1
+	partitioned bool
+}
+
+// inference computes a WriteFact for one function declaration by local
+// dataflow: parameter aliases are propagated through := definitions
+// (including method calls on a parameter, row := m.Row(i)), integer
+// derivation is propagated from int parameters through := chains, and
+// every write through an alias is classified as range-partitioned or not.
+type inference struct {
+	c *checker
+	// params maps writable parameter objects (slice/map/pointer types,
+	// receiver included) to their position.
+	params map[types.Object]int
+	// aliases maps local variables to the parameter view they alias.
+	aliases map[types.Object]view
+	// intDerived holds the int parameters plus locals derived from them.
+	intDerived map[types.Object]bool
+	fact       *WriteFact
+}
+
+func newInference(c *checker, fd *ast.FuncDecl) *inference {
+	inf := &inference{
+		c:          c,
+		params:     make(map[types.Object]int),
+		aliases:    make(map[types.Object]view),
+		intDerived: make(map[types.Object]bool),
+		fact:       &WriteFact{},
+	}
+	addParam := func(id *ast.Ident, index int) {
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil || obj.Name() == "_" {
+			return
+		}
+		switch obj.Type().Underlying().(type) {
+		case *types.Slice, *types.Map, *types.Pointer:
+			inf.params[obj] = index
+			inf.aliases[obj] = view{index: index}
+		case *types.Basic:
+			if isInt(obj.Type()) {
+				inf.intDerived[obj] = true
+			}
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		for _, id := range fd.Recv.List[0].Names {
+			addParam(id, -1)
+		}
+	}
+	index := 0
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			addParam(id, index)
+			index++
+		}
+		if len(field.Names) == 0 {
+			index++
+		}
+	}
+	return inf
+}
+
+func isInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// run performs the fixed-point alias/derivation propagation and then
+// classifies every write, returning the fact.
+func (inf *inference) run(body *ast.BlockStmt) *WriteFact {
+	// Propagate aliases and int derivations to a fixed point: chains like
+	// i := lo; j := i+1; row := m.Row(j) need one pass per link, and
+	// bodies are short, so a small bound is plenty.
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := inf.c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					continue
+				}
+				rhs := as.Rhs[i]
+				if isInt(obj.Type()) && !inf.intDerived[obj] && inf.refsIntDerived(rhs) {
+					inf.intDerived[obj] = true
+					changed = true
+				}
+				if v, ok := inf.view(rhs); ok {
+					if old, have := inf.aliases[obj]; !have || old != v {
+						inf.aliases[obj] = v
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				inf.recordWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			inf.recordWrite(n.X)
+		case *ast.CallExpr:
+			inf.recordCall(n)
+		}
+		return true
+	})
+	return inf.fact
+}
+
+// refsIntDerived reports whether e references any int-derived variable.
+func (inf *inference) refsIntDerived(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := inf.c.pass.TypesInfo.Uses[id]; obj != nil && inf.intDerived[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// view resolves e to a parameter view, following selector/index/slice
+// chains and method calls whose receiver is itself a view (m.Row(i)).
+func (inf *inference) view(e ast.Expr) (view, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := inf.c.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = inf.c.pass.TypesInfo.Defs[x]
+		}
+		v, ok := inf.aliases[obj]
+		return v, ok && obj != nil
+	case *ast.SelectorExpr:
+		return inf.view(x.X)
+	case *ast.StarExpr:
+		return inf.view(x.X)
+	case *ast.IndexExpr:
+		v, ok := inf.view(x.X)
+		if !ok {
+			return view{}, false
+		}
+		v.partitioned = v.partitioned || inf.refsIntDerived(x.Index)
+		return v, true
+	case *ast.SliceExpr:
+		v, ok := inf.view(x.X)
+		if !ok {
+			return view{}, false
+		}
+		for _, b := range []ast.Expr{x.Low, x.High, x.Max} {
+			if b != nil && inf.refsIntDerived(b) {
+				v.partitioned = true
+			}
+		}
+		return v, true
+	case *ast.CallExpr:
+		// A method call on a view (m.Row(i)) yields a view of the same
+		// parameter, partitioned when an argument is int-derived.
+		sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return view{}, false
+		}
+		v, ok := inf.view(sel.X)
+		if !ok {
+			return view{}, false
+		}
+		for _, a := range x.Args {
+			if inf.refsIntDerived(a) {
+				v.partitioned = true
+			}
+		}
+		return v, true
+	}
+	return view{}, false
+}
+
+// recordWrite classifies one lvalue store.
+func (inf *inference) recordWrite(lhs ast.Expr) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		// Rebinding a local (or even the parameter variable itself) does
+		// not write through the caller's memory.
+		return
+	case *ast.IndexExpr:
+		v, ok := inf.view(e.X)
+		if !ok {
+			return
+		}
+		if t := inf.c.pass.TypesInfo.TypeOf(e.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				inf.add(v.index, true)
+				return
+			}
+		}
+		partitioned := v.partitioned || inf.refsIntDerived(e.Index)
+		inf.add(v.index, !partitioned)
+	case *ast.SelectorExpr:
+		if v, ok := inf.view(e.X); ok {
+			inf.add(v.index, !v.partitioned)
+		}
+	case *ast.StarExpr:
+		if v, ok := inf.view(e.X); ok {
+			inf.add(v.index, !v.partitioned)
+		}
+	}
+}
+
+// recordCall propagates writes through calls: the copy builtin writes its
+// first argument, and calls to functions with an imported WriteFact write
+// through the corresponding views.
+func (inf *inference) recordCall(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" &&
+		isBuiltin(inf.c.pass.TypesInfo, id) && len(call.Args) == 2 {
+		if v, ok := inf.view(call.Args[0]); ok {
+			inf.add(v.index, !v.partitioned)
+		}
+		return
+	}
+	fn := lintutil.Callee(inf.c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	var fact WriteFact
+	if !inf.c.pass.ImportObjectFact(fn, &fact) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() || len(call.Args) != sig.Params().Len() {
+		return
+	}
+	for _, pw := range fact.Writes {
+		var arg ast.Expr
+		if pw.Index == -1 {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			arg = sel.X
+		} else if pw.Index < len(call.Args) {
+			arg = call.Args[pw.Index]
+		} else {
+			continue
+		}
+		v, ok := inf.view(arg)
+		if !ok {
+			continue
+		}
+		// The callee's write lands inside whatever view we passed:
+		// partitioned when the view itself is range-narrowed, or when
+		// the callee partitions and we feed it range-derived indices.
+		partitioned := v.partitioned
+		if !pw.Unpartitioned {
+			for _, a := range call.Args {
+				if t := inf.c.pass.TypesInfo.TypeOf(a); t != nil && isInt(t) && inf.refsIntDerived(a) {
+					partitioned = true
+					break
+				}
+			}
+		}
+		inf.add(v.index, !partitioned)
+	}
+}
+
+// add merges one classified write into the fact.
+func (inf *inference) add(index int, unpartitioned bool) {
+	if pw := inf.fact.find(index); pw != nil {
+		pw.Unpartitioned = pw.Unpartitioned || unpartitioned
+		return
+	}
+	inf.fact.Writes = append(inf.fact.Writes, ParamWrite{Index: index, Unpartitioned: unpartitioned})
+}

@@ -1,0 +1,18 @@
+package planrace_test
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis/analysistest"
+	"github.com/symprop/symprop/tools/symlint/analyzers/planrace"
+)
+
+// TestPlanRace analyzes the helpers fixture first so its write facts are
+// in the shared store when the plans fixture (which imports it) is
+// checked — the same dependency order the driver guarantees.
+func TestPlanRace(t *testing.T) {
+	analysistest.RunDirs(t, planrace.Analyzer,
+		analysistest.Dir{Path: "testdata/src/helpers", ImportPath: "fixture.example/helpers"},
+		analysistest.Dir{Path: "testdata/src/plans", ImportPath: "fixture.example/plans"},
+	)
+}

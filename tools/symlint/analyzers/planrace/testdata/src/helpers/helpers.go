@@ -1,0 +1,61 @@
+// Package helpers provides callees whose write behavior planrace must
+// infer and export as cross-package write facts. It is analyzed before
+// the plans fixture, which imports it.
+package helpers
+
+import "sync"
+
+// Scale writes every element of dst: an unpartitioned write through
+// parameter 0. Passing a captured slice to it from a plan body is a race.
+func Scale(dst []float64, s float64) {
+	for i := range dst {
+		dst[i] *= s
+	}
+}
+
+// FillRange writes only dst[lo:hi]: the writes are confined to indices
+// derived from the function's own int parameters, so the engine's
+// disjoint worker ranges make calls with captured dst safe.
+func FillRange(dst []float64, lo, hi int, v float64) {
+	for i := lo; i < hi; i++ {
+		dst[i] = v
+	}
+}
+
+// Count writes the map: never safe from concurrent plan bodies.
+func Count(m map[int]int, k int) {
+	m[k]++
+}
+
+// Accum accumulates through its receiver — an unpartitioned receiver
+// write (parameter index -1).
+type Accum struct{ Sum float64 }
+
+// Add folds v into the receiver.
+func (a *Accum) Add(v float64) {
+	a.Sum += v
+}
+
+// Guarded synchronizes internally, so it exports no write fact even
+// though it writes every element.
+type Guarded struct {
+	mu  sync.Mutex
+	Dst []float64
+}
+
+// Bump locks around the shared write.
+func (g *Guarded) Bump(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.Dst[i]++
+}
+
+// Blessed writes everything but carries the trust directive: the caller
+// guarantees partitioning the analyzer cannot see.
+//
+//symlint:partitioned fixture: caller owns the whole buffer per worker
+func Blessed(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}

@@ -1,0 +1,267 @@
+// Package plans exercises the planrace checks on exec.Plan Body/Scratch
+// closures: captured-state writes, cross-package write facts (the helpers
+// fixture package is analyzed first), suppression directives, and the
+// sanctioned patterns that must stay silent.
+package plans
+
+import (
+	"sync"
+
+	"fixture.example/helpers"
+
+	"github.com/symprop/symprop/internal/exec"
+)
+
+type stats struct{ n int }
+
+// badScalarAccum races on a captured float accumulator.
+func badScalarAccum(xs []float64) float64 {
+	sum := 0.0
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-scalar",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				sum += xs[i] // want `plan body assigns to captured variable sum`
+			}
+			return nil
+		},
+	})
+	return sum
+}
+
+// badAppend grows a captured slice from every worker.
+func badAppend(xs []float64) []int {
+	var rows []int
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-append",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if xs[i] != 0 {
+					rows = append(rows, i) // want `plan body appends to captured slice rows`
+				}
+			}
+			return nil
+		},
+	})
+	return rows
+}
+
+// badMapWrite mutates a captured map concurrently.
+func badMapWrite(keys []int) map[int]int {
+	counts := make(map[int]int)
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-map",
+		Items: len(keys),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				counts[keys[i]]++ // want `plan body writes to captured map counts`
+			}
+			return nil
+		},
+	})
+	return counts
+}
+
+// badFixedIndex funnels every worker into the same element.
+func badFixedIndex(out []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-fixed-index",
+		Items: 64,
+		Body: func(w *exec.Worker, lo, hi int) error {
+			out[0]++ // want `index that never varies within the worker's range`
+			return nil
+		},
+	})
+}
+
+// badFieldWrite increments a shared struct field.
+func badFieldWrite(xs []float64) {
+	st := &stats{}
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-field",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			st.n += hi - lo // want `plan body writes to field n of captured st`
+			return nil
+		},
+	})
+}
+
+// badPointerWrite stores through a captured pointer.
+func badPointerWrite(xs []float64) {
+	var total float64
+	p := &total
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-pointer",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			*p = float64(hi) // want `plan body writes through captured pointer p`
+			return nil
+		},
+	})
+}
+
+// badScratchCapture races from the Scratch hook, which runs once per
+// worker goroutine — concurrently, like Body.
+func badScratchCapture(xs []float64) {
+	made := 0
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-scratch",
+		Items: len(xs),
+		Scratch: func(w *exec.Worker) error {
+			made++ // want `plan scratch assigns to captured variable made`
+			w.Scratch = make([]float64, 8)
+			return nil
+		},
+		Body: func(w *exec.Worker, lo, hi int) error {
+			return nil
+		},
+	})
+}
+
+// badUnnamed omits the Name field, which exec.Run rejects at runtime.
+func badUnnamed(xs []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{ // want `exec.Plan literal has no Name field`
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			return nil
+		},
+	})
+}
+
+// badHelperCall hands the whole captured output to a helper whose
+// cross-package write fact says it scribbles over every element.
+func badHelperCall(out []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-helper-call",
+		Items: len(out),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			helpers.Scale(out, 2) // want `plan body passes captured out to Scale`
+			return nil
+		},
+	})
+}
+
+// badMethodCall folds into a captured accumulator through a method whose
+// receiver write fact is unpartitioned.
+func badMethodCall(xs []float64) {
+	var acc helpers.Accum
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-method-call",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				acc.Add(xs[i]) // want `plan body passes captured acc to Add`
+			}
+			return nil
+		},
+	})
+}
+
+// localScale writes all of dst — but it lives in this package, so the
+// fact is exported in phase 1 and visible to phase 2 of the same pass.
+func localScale(dst []float64, s float64) {
+	for i := range dst {
+		dst[i] *= s
+	}
+}
+
+// badSamePackageHelper checks that in-package facts work too.
+func badSamePackageHelper(out []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-local-helper",
+		Items: len(out),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			localScale(out, 0.5) // want `plan body passes captured out to localScale`
+			return nil
+		},
+	})
+}
+
+// goodRangeWrites is the canonical pattern: every captured write lands at
+// a range-derived or worker-slot index, helpers get range-confined views.
+func goodRangeWrites(xs, out []float64, workers int) float64 {
+	partials := make([]float64, workers)
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.good-range",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = 2 * xs[i]
+				partials[w.Index] += xs[i]
+			}
+			helpers.FillRange(out, lo, hi, 1) // partitioned fact: quiet
+			helpers.Scale(out[lo:hi], 2)      // range-narrowed view: quiet
+			helpers.Blessed(out[:0])          // //symlint:partitioned: no fact
+			return nil
+		},
+		Finish: func(w *exec.Worker) {
+			// The serial Finish hook may fold captured state freely.
+			out[0] += partials[w.Index]
+		},
+	})
+	return out[0]
+}
+
+// goodScratchRouting keeps per-worker state in w.Scratch and trusts
+// internally-synchronized helpers.
+func goodScratchRouting(xs []float64, g *helpers.Guarded) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.good-scratch",
+		Items: len(xs),
+		Scratch: func(w *exec.Worker) error {
+			w.Scratch = make([]float64, 16)
+			return nil
+		},
+		Body: func(w *exec.Worker, lo, hi int) error {
+			buf := w.Scratch.([]float64)
+			for i := lo; i < hi; i++ {
+				buf[0] += xs[i]
+				g.Bump(i) // Guarded locks internally: no fact, quiet
+			}
+			return nil
+		},
+	})
+}
+
+// goodMutexClosure visibly synchronizes, so its captured writes are
+// trusted wholesale.
+func goodMutexClosure(xs []float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.good-mutex",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			local := 0.0
+			for i := lo; i < hi; i++ {
+				local += xs[i]
+			}
+			mu.Lock()
+			sum += local
+			mu.Unlock()
+			return nil
+		},
+	})
+	return sum
+}
+
+// suppressedAccum documents why the flagged write is safe here.
+func suppressedAccum(xs []float64) float64 {
+	sum := 0.0
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:    "fixture.suppressed",
+		Items:   len(xs),
+		Workers: 1,
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				//symlint:planrace fixture: Workers is pinned to 1, single-writer
+				sum += xs[i]
+			}
+			return nil
+		},
+	})
+	return sum
+}

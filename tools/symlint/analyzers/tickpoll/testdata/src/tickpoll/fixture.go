@@ -1,0 +1,150 @@
+// Package tickpoll exercises the per-item heartbeat rule: every
+// outermost loop in an exec.Plan Body closure must call w.Tick.
+package tickpoll
+
+import (
+	"github.com/symprop/symprop/internal/exec"
+)
+
+// badNoTick walks its whole range without ever polling.
+func badNoTick(xs, out []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-no-tick",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ { // want `loop in plan body never calls w.Tick`
+				out[i] = 2 * xs[i]
+			}
+			return nil
+		},
+	})
+}
+
+// badRangeNoTick trips the rule through a range loop too, and shows that
+// a second untracked outermost loop gets its own diagnostic.
+func badRangeNoTick(xs, out []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.bad-range-no-tick",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := range out { // want `loop in plan body never calls w.Tick`
+				_ = i
+			}
+			for i := lo; i < hi; i++ { // want `loop in plan body never calls w.Tick`
+				out[i] = xs[i]
+			}
+			return nil
+		},
+	})
+}
+
+// goodTickFirst is the canonical shape: Tick leads every iteration.
+func goodTickFirst(xs, out []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.good-tick-first",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := w.Tick(i); err != nil {
+					return err
+				}
+				out[i] = 2 * xs[i]
+			}
+			return nil
+		},
+	})
+}
+
+// goodNestedLoops: once the outer loop ticks, inner loops are per-item
+// work under the plan's CheckEvery contract and are not flagged.
+func goodNestedLoops(xs, out []float64, cols int) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.good-nested",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := w.Tick(i); err != nil {
+					return err
+				}
+				for j := 0; j < cols; j++ {
+					out[i] += xs[i] * float64(j)
+				}
+			}
+			return nil
+		},
+	})
+}
+
+// forEach invokes fn once per index — the fixture's stand-in for the
+// tensor iteration callbacks real kernels tick from.
+func forEach(n int, fn func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goodTickInCallback ticks from inside a per-item callback; the loop that
+// drives the callback is covered.
+func goodTickInCallback(xs []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.good-callback-tick",
+		Items: len(xs),
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ { // Tick happens inside the callback below
+				if err := forEach(1, func(j int) error { return w.Tick(i) }); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+}
+
+// goodScratchAndFinishLoops: Scratch and Finish run once per worker slot,
+// serially or before the fan-out — their loops are exempt.
+func goodScratchAndFinishLoops(xs, out []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.good-hooks",
+		Items: len(xs),
+		Scratch: func(w *exec.Worker) error {
+			buf := make([]float64, 16)
+			for i := range buf {
+				buf[i] = 0
+			}
+			w.Scratch = buf
+			return nil
+		},
+		Body: func(w *exec.Worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := w.Tick(i); err != nil {
+					return err
+				}
+				out[i] = xs[i]
+			}
+			return nil
+		},
+		Finish: func(w *exec.Worker) {
+			for i := range out {
+				out[i] += 1
+			}
+		},
+	})
+}
+
+// suppressedReduction documents why this loop legitimately never ticks.
+func suppressedReduction(xs, out []float64) {
+	_ = exec.Run(exec.Config{}, exec.Plan{
+		Name:  "fixture.suppressed-reduction",
+		Items: len(out),
+		Body: func(_ *exec.Worker, lo, hi int) error {
+			//symlint:tickpoll fixture: reduction completes or fails, never half-cancels
+			for i := lo; i < hi; i++ {
+				out[i] += xs[i]
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,94 @@
+// Package tickpoll defines the analyzer enforcing the execution engine's
+// per-item heartbeat: every outermost loop inside an exec.Plan Body
+// closure must call w.Tick.
+//
+// The engine's cancellation latency, fault-injection sites, and
+// checkpoint cadence are all driven by Worker.Tick, which polls the
+// context every CheckEvery calls. A Body loop that walks its [lo, hi)
+// range without ticking runs to completion no matter what the context
+// says — on a large tensor that turns a cancel request into minutes of
+// dead compute and starves the fault-injection sites the resilience
+// tests rely on. The Tick fast path is a single countdown branch, so the
+// analyzer does not try to prove a loop is "short enough": the rule is
+// one Tick per item, checked structurally.
+//
+// Only outermost loops are checked. Once a loop ticks per iteration,
+// nested loops inside it are per-item work whose granularity is the
+// plan's CheckEvery contract, not the analyzer's business. Scratch and
+// Finish hooks run once per worker slot, not per item, and are exempt.
+//
+// Loops that legitimately run untracked — e.g. a reduction that must
+// complete or fail atomically and deliberately carries no context —
+// are suppressed with a justified directive on or above the loop:
+//
+//	//symlint:tickpoll reduction either completes or fails, never half-cancels
+//	for i := lo; i < hi; i++ { ... }
+package tickpoll
+
+import (
+	"go/ast"
+
+	"github.com/symprop/symprop/tools/symlint/analysis"
+	"github.com/symprop/symprop/tools/symlint/analyzers/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tickpoll",
+	Doc: "checks that every outermost loop in an exec.Plan Body calls w.Tick\n\n" +
+		"Tick drives cancellation polling (every CheckEvery items), fault sites, and per-plan accounting; a loop that never ticks runs to completion regardless of the context.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if lintutil.IsGenerated(f) {
+			continue
+		}
+		directives := lintutil.Collect(pass.Fset, f, "tickpoll")
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !lintutil.IsExecPlanLit(pass.TypesInfo, lit) {
+				return true
+			}
+			if cb := lintutil.DissectPlanLit(lit); cb.Body != nil {
+				checkBody(pass, directives, cb.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody reports every outermost loop in the body closure that
+// contains no w.Tick call.
+func checkBody(pass *analysis.Pass, directives lintutil.Directives, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if !containsTick(pass, n) {
+				if _, suppressed := directives.Suppressed(pass.Fset, n.Pos()); !suppressed {
+					pass.Reportf(n.Pos(),
+						"loop in plan body never calls w.Tick: the worker runs its whole range ignoring cancellation and fault sites; call w.Tick(item) once per iteration (the idle cost is one countdown branch)")
+				}
+			}
+			// Nested loops are per-item work under the outer loop's Tick
+			// cadence; don't descend.
+			return false
+		}
+		return true
+	})
+}
+
+// containsTick reports a Worker.Tick call anywhere inside n, including
+// nested function literals (per-item callbacks tick on behalf of the
+// loop that invokes them).
+func containsTick(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && lintutil.IsWorkerTick(pass.TypesInfo, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package tickpoll_test
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/tools/symlint/analysis/analysistest"
+	"github.com/symprop/symprop/tools/symlint/analyzers/tickpoll"
+)
+
+func TestTickPoll(t *testing.T) {
+	analysistest.Run(t, tickpoll.Analyzer, "testdata/src/tickpoll", "fixture.example/tickpoll")
+}

@@ -1,30 +1,39 @@
-// Command symlint is SymProp's project lint suite: a multichecker bundling
-// the four analyzers that enforce the invariants the Go compiler cannot
-// see. Run it over the whole repository with
+// Command symlint is SymProp's project lint suite: a multichecker
+// bundling the analyzers that enforce the invariants the Go compiler
+// cannot see — dense-microkernel routing, execution-engine race and
+// heartbeat contracts, bit-identity determinism, hot-path allocation
+// discipline, generator drift, and the panic policy. Run it over the
+// whole repository with
 //
-//	make lint            # == go run ./tools/symlint ./...
+//	make lint            # == go run ./tools/symlint ./... ./tools/... ./cmd/...
 //
-// Analyzers (see docs/LINTING.md for the full policy and suppression
-// directives):
-//
-//	iouiter      raw triangular loop nests must go through internal/dense
-//	parafor      closures passed to linalg.ParallelFor* must be race-free
-//	gendrift     *_gen.go files must match a fresh generator run
-//	panicpolicy  library panics only inside documented mustXxx helpers
+// The registry of record is the binary itself: `symlint -list` prints
+// every registered analyzer with its one-line contract, and `-only`
+// narrows a run to a comma-separated subset. docs/LINTING.md documents
+// each analyzer's policy and suppression directive; `-json` emits one
+// diagnostic object per line for CI tooling.
 package main
 
 import (
 	"github.com/symprop/symprop/tools/symlint/analysis"
+	"github.com/symprop/symprop/tools/symlint/analyzers/fpdeterm"
 	"github.com/symprop/symprop/tools/symlint/analyzers/gendrift"
+	"github.com/symprop/symprop/tools/symlint/analyzers/hotalloc"
 	"github.com/symprop/symprop/tools/symlint/analyzers/iouiter"
 	"github.com/symprop/symprop/tools/symlint/analyzers/panicpolicy"
 	"github.com/symprop/symprop/tools/symlint/analyzers/parafor"
+	"github.com/symprop/symprop/tools/symlint/analyzers/planrace"
+	"github.com/symprop/symprop/tools/symlint/analyzers/tickpoll"
 )
 
 func main() {
 	analysis.Main(
 		iouiter.Analyzer,
 		parafor.Analyzer,
+		planrace.Analyzer,
+		tickpoll.Analyzer,
+		fpdeterm.Analyzer,
+		hotalloc.Analyzer,
 		gendrift.Analyzer,
 		panicpolicy.Analyzer,
 	)
