@@ -68,6 +68,17 @@ func TestKernelDeterminismMatrix(t *testing.T) {
 			u    *linalg.Matrix
 		}{"order4", x, u})
 	}
+	{
+		// Rank 4 puts the order-3 fixture on the fused-kernel grid, so the
+		// fusion dimension below exercises the generated evaluators against
+		// the generic lattice inside the same bit-identity matrix.
+		x, u := dyadicCase(t, 3, 48, 900, 4, 74)
+		fixtures = append(fixtures, struct {
+			name string
+			x    *spsym.Tensor
+			u    *linalg.Matrix
+		}{"order3r4", x, u})
+	}
 
 	for _, fx := range fixtures {
 		for _, k := range kernels {
@@ -78,29 +89,32 @@ func TestKernelDeterminismMatrix(t *testing.T) {
 			for _, workers := range []int{1, 2, 7} {
 				for _, mode := range []Scheduling{SchedOwnerComputes, SchedStripedLocks} {
 					for _, pooled := range []bool{false, true} {
-						name := fmt.Sprintf("%s/%s/workers=%d/%s/pooled=%v", fx.name, k.name, workers, mode, pooled)
-						t.Run(name, func(t *testing.T) {
-							var pool *exec.Pool
-							if pooled {
-								pool = exec.NewPool(workers)
-								defer pool.Close()
-							}
-							got, err := k.run(fx.x, fx.u, Options{
-								Workers: workers, Scheduling: mode, Exec: pool,
-							})
-							if err != nil {
-								t.Fatal(err)
-							}
-							if got.Rows != ref.Rows || got.Cols != ref.Cols {
-								t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, ref.Rows, ref.Cols)
-							}
-							for i := range ref.Data {
-								if got.Data[i] != ref.Data[i] {
-									t.Fatalf("bit mismatch at %d: got %x, want %x",
-										i, got.Data[i], ref.Data[i])
+						for _, fusion := range []Fusion{FusionAuto, FusionOff} {
+							name := fmt.Sprintf("%s/%s/workers=%d/%s/pooled=%v/fusion=%s",
+								fx.name, k.name, workers, mode, pooled, fusion)
+							t.Run(name, func(t *testing.T) {
+								var pool *exec.Pool
+								if pooled {
+									pool = exec.NewPool(workers)
+									defer pool.Close()
 								}
-							}
-						})
+								got, err := k.run(fx.x, fx.u, Options{
+									Workers: workers, Scheduling: mode, Exec: pool, Fusion: fusion,
+								})
+								if err != nil {
+									t.Fatal(err)
+								}
+								if got.Rows != ref.Rows || got.Cols != ref.Cols {
+									t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, ref.Rows, ref.Cols)
+								}
+								for i := range ref.Data {
+									if got.Data[i] != ref.Data[i] {
+										t.Fatalf("bit mismatch at %d: got %x, want %x",
+											i, got.Data[i], ref.Data[i])
+									}
+								}
+							})
+						}
 					}
 				}
 			}

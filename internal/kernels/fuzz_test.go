@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -10,11 +11,19 @@ import (
 
 // FuzzKernelEquivalence drives the cross-implementation oracle from fuzzed
 // shape parameters: for any small random tensor, SymProp (expanded), CSS
-// and UCOO must agree bit-for-bit within floating-point tolerance.
+// and UCOO must agree bit-for-bit within floating-point tolerance, and the
+// fused dispatch (FusionAuto, the SymProp default here) must be bitwise
+// equal to the forced-generic path whether the (order, rank) pair hits a
+// generated kernel or falls back.
 func FuzzKernelEquivalence(f *testing.F) {
 	f.Add(int64(1), uint8(3), uint8(5), uint8(3), uint8(10))
 	f.Add(int64(2), uint8(2), uint8(2), uint8(1), uint8(1))
 	f.Add(int64(3), uint8(6), uint8(4), uint8(2), uint8(8))
+	// Fused-grid hits: order 3 rank 2, order 5 rank 4.
+	f.Add(int64(4), uint8(1), uint8(5), uint8(1), uint8(9))
+	f.Add(int64(5), uint8(3), uint8(5), uint8(3), uint8(7))
+	// Dispatch-table fallback: order 6 is off the fused grid at any rank.
+	f.Add(int64(6), uint8(4), uint8(5), uint8(1), uint8(9))
 	f.Fuzz(func(t *testing.T, seed int64, orderB, dimB, rankB, nnzB uint8) {
 		order := 2 + int(orderB)%5 // 2..6
 		dim := 1 + int(dimB)%6     // 1..6
@@ -31,6 +40,16 @@ func FuzzKernelEquivalence(f *testing.F) {
 		yp, err := S3TTMcSymProp(x, u, Options{})
 		if err != nil {
 			t.Fatalf("SymProp: %v", err)
+		}
+		generic, err := S3TTMcSymProp(x, u, Options{Fusion: FusionOff})
+		if err != nil {
+			t.Fatalf("SymProp generic: %v", err)
+		}
+		for i := range yp.Data {
+			if math.Float64bits(yp.Data[i]) != math.Float64bits(generic.Data[i]) {
+				t.Fatalf("fused vs generic differ at %d: %v vs %v (N=%d I=%d R=%d nnz=%d)",
+					i, yp.Data[i], generic.Data[i], order, dim, rank, nnz)
+			}
 		}
 		sp := ExpandCompactColumns(yp, order, rank)
 		cssY, err := S3TTMcCSS(x, u, Options{})

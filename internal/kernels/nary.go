@@ -88,24 +88,24 @@ func NaryTTMcTC(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*NaryResult, e
 		Body: func(wk *exec.Worker, lo, hi int) error {
 			partial := wk.Scratch.(*linalg.Matrix)
 			kron := make([]float64, kronLen)
-			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			perm := make([]int32, x.Order)
+			emit := func(idx []int32, val float64) {
+				kronRows(u, idx[1:], kron)
+				urow := u.Row(int(idx[0]))
+				//symlint:tickpoll per-item callback: runs under the Tick of the range loop that invokes it
+				for r1 := 0; r1 < r; r1++ {
+					c := val * urow[r1]
+					row := partial.Row(r1)
+					for j, kv := range kron {
+						row[j] += c * kv
+					}
+				}
+			}
 			for k := lo; k < hi; k++ {
 				if err := wk.Tick(k); err != nil {
 					return err
 				}
-				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
-				sub.Values = x.Values[k : k+1]
-				sub.ForEachExpanded(func(idx []int32, val float64) {
-					kronRows(u, idx[1:], kron)
-					urow := u.Row(int(idx[0]))
-					for r1 := 0; r1 < r; r1++ {
-						c := val * urow[r1]
-						row := partial.Row(r1)
-						for j, kv := range kron {
-							row[j] += c * kv
-						}
-					}
-				})
+				x.ForEachExpandedOf(k, perm, emit)
 			}
 			return nil
 		},
@@ -179,26 +179,25 @@ func naryScatterOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers i
 		Body: func(wk *exec.Worker, w, _ int) error {
 			kron := make([]float64, core.Cols)
 			contrib := make([]float64, a.Cols)
+			perm := make([]int32, x.Order)
 			rowLo, rowHi := sched.ownedRows(w)
 			spill := spills.buffer(w)
-			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			emit := func(idx []int32, val float64) {
+				kronRows(u, idx[1:], kron)
+				naryContrib(core, kron, val, contrib)
+				row := int(idx[0])
+				if row >= rowLo && row < rowHi {
+					dense.AxpyCompact(1, contrib, a.Row(row))
+				} else {
+					spill.add(row, 1, contrib)
+				}
+			}
 			for _, k32 := range sched.bin(w) {
 				k := int(k32)
 				if err := wk.Tick(k); err != nil {
 					return err
 				}
-				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
-				sub.Values = x.Values[k : k+1]
-				sub.ForEachExpanded(func(idx []int32, val float64) {
-					kronRows(u, idx[1:], kron)
-					naryContrib(core, kron, val, contrib)
-					row := int(idx[0])
-					if row >= rowLo && row < rowHi {
-						dense.AxpyCompact(1, contrib, a.Row(row))
-					} else {
-						spill.add(row, 1, contrib)
-					}
-				})
+				x.ForEachExpandedOf(k, perm, emit)
 			}
 			return nil
 		},
@@ -222,21 +221,20 @@ func naryScatterStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers
 		Body: func(wk *exec.Worker, lo, hi int) error {
 			kron := make([]float64, core.Cols)
 			contrib := make([]float64, a.Cols)
-			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			perm := make([]int32, x.Order)
+			emit := func(idx []int32, val float64) {
+				kronRows(u, idx[1:], kron)
+				naryContrib(core, kron, val, contrib)
+				row := int(idx[0])
+				locks.lock(row)
+				dense.AxpyCompact(1, contrib, a.Row(row))
+				locks.unlock(row)
+			}
 			for k := lo; k < hi; k++ {
 				if err := wk.Tick(k); err != nil {
 					return err
 				}
-				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
-				sub.Values = x.Values[k : k+1]
-				sub.ForEachExpanded(func(idx []int32, val float64) {
-					kronRows(u, idx[1:], kron)
-					naryContrib(core, kron, val, contrib)
-					row := int(idx[0])
-					locks.lock(row)
-					dense.AxpyCompact(1, contrib, a.Row(row))
-					locks.unlock(row)
-				})
+				x.ForEachExpandedOf(k, perm, emit)
 			}
 			return nil
 		},

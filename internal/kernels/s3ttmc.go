@@ -81,6 +81,12 @@ type Options struct {
 	// (contention-free, the default via SchedAuto) or striped row locks
 	// (the ablation baseline). See schedule.go.
 	Scheduling Scheduling
+	// Fusion selects whether all-distinct non-zeros may dispatch to the
+	// fused per-(order, rank) evaluators of fused_gen.go (FusionAuto, the
+	// default) or must take the generic lattice path (FusionOff, the
+	// codegen-v2 ablation baseline). SymProp compact kernels only; the two
+	// paths produce bit-identical output. See fused.go and docs/CODEGEN.md.
+	Fusion Fusion
 	// Schedules carries owner-computes schedules across calls (e.g. across
 	// Tucker iterations), the scheduling analog of PlanCache. nil rebuilds
 	// the schedule per call.
@@ -153,6 +159,10 @@ type workspace struct {
 	compact bool
 	r       int
 	order   int
+	// fusedTops is the output scratch of the fused evaluators (order
+	// slot-major blocks of S_{order-1,r} entries), allocated on first use
+	// by fusedScratch and recycled with the workspace.
+	fusedTops []float64
 }
 
 func newWorkspace(order, r int, compact bool) *workspace {
@@ -276,12 +286,23 @@ const latticeChunk = 64
 type latticeState struct {
 	ws  *workspace
 	nzc *nzCache
+	// fused is the per-(order, rank) fused evaluator for all-distinct
+	// non-zeros, nil when the call runs fully generic (see resolveFusion);
+	// fusedTops is its output scratch, topSize the per-slot block width.
+	fused     fusedEvalFunc
+	fusedTops []float64
+	topSize   int
 }
 
 func newLatticeState(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bool) *latticeState {
 	st := &latticeState{ws: opts.Pool.get(x.Order, u.Cols, compact)}
 	if compact && opts.CrossNZCacheBytes > 0 {
 		st.nzc = newNZCache(opts.CrossNZCacheBytes)
+	}
+	if fk := resolveFusion(opts, compact, x.Order, u.Cols); fk != nil {
+		st.fused = fk
+		st.fusedTops = st.ws.fusedScratch()
+		st.topSize = len(st.fusedTops) / x.Order
 	}
 	return st
 }
@@ -402,6 +423,26 @@ func runLatticeOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact bo
 				if err := wk.Tick(k); err != nil {
 					return err
 				}
+				if st.fused != nil {
+					// Fused fast path: all-distinct non-zeros (slot t's
+					// value is tuple[t]) skip the plan/workspace lookups and
+					// compute every top tensor in one generated pass.
+					tuple := x.IndexAt(k)
+					if allDistinct(tuple) {
+						st.fused(u, tuple, st.fusedTops)
+						val := x.Values[k]
+						for slot := range tuple {
+							row := int(tuple[slot])
+							top := st.fusedTops[slot*st.topSize : (slot+1)*st.topSize]
+							if row >= rowLo && row < rowHi {
+								dense.AxpyCompact(val, top, y.Row(row))
+							} else {
+								spill.add(row, val, top)
+							}
+						}
+						continue
+					}
+				}
 				plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
 				if err != nil {
 					return err
@@ -450,6 +491,21 @@ func runLatticeStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, compact 
 			for k := lo; k < hi; k++ {
 				if err := wk.Tick(k); err != nil {
 					return err
+				}
+				if st.fused != nil {
+					tuple := x.IndexAt(k)
+					if allDistinct(tuple) {
+						st.fused(u, tuple, st.fusedTops)
+						val := x.Values[k]
+						for slot := range tuple {
+							row := int(tuple[slot])
+							top := st.fusedTops[slot*st.topSize : (slot+1)*st.topSize]
+							locks.lock(row)
+							dense.AxpyCompact(val, top, y.Row(row))
+							locks.unlock(row)
+						}
+						continue
+					}
 				}
 				plan, values, bufs, err := evalNonZero(x, u, opts, compact, cache, st, k)
 				if err != nil {

@@ -73,6 +73,44 @@ func BenchmarkUCOOScheduling(b *testing.B) {
 	}
 }
 
+// BenchmarkS3TTMcFused is the codegen-v2 ablation behind docs/CODEGEN.md:
+// the same SymProp kernel with the fused per-(order, rank) evaluators on
+// (FusionAuto) and off (FusionOff, the generic lattice path), across grid
+// cells of different order and rank. Output is bit-identical either way
+// (TestFusedMatchesGenericBitwise), so the delta is pure dispatch +
+// fusion overhead recovery.
+func BenchmarkS3TTMcFused(b *testing.B) {
+	for _, sh := range []struct{ order, dim, nnz, r int }{
+		{3, 1024, 50000, 4},
+		{3, 1024, 50000, 8},
+		{4, 256, 20000, 4},
+	} {
+		x, err := spsym.Random(spsym.RandomOptions{
+			Order: sh.order, Dim: sh.dim, NNZ: sh.nnz, Seed: 7, Values: spsym.ValueNormal,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := linalg.RandomNormal(sh.dim, sh.r, rand.New(rand.NewSource(8)))
+		for _, fusion := range []Fusion{FusionAuto, FusionOff} {
+			name := fmt.Sprintf("order=%d/rank=%d/fusion=%v", sh.order, sh.r, fusion)
+			b.Run(name, func(b *testing.B) {
+				var scheds ScheduleCache
+				m := obs.New()
+				opts := Options{Workers: 4, Schedules: &scheds, Fusion: fusion, Obs: m}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := S3TTMcSymProp(x, u, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				reportPlanMetrics(b, m)
+			})
+		}
+	}
+}
+
 // reportPlanMetrics attaches the engine's per-plan counters as custom
 // benchmark columns (benchjson stores them in the snapshot's extra map):
 // per-op worker busy time and the run's load-imbalance ratio per plan.

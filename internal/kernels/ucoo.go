@@ -79,26 +79,28 @@ func ucooOwner(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y *
 		Partition: exec.PerWorker,
 		Workers:   workers,
 		Body: func(wk *exec.Worker, w, _ int) error {
+			// Per-range state: kron scratch, permutation scratch, and the
+			// emission closure are all built once here so the per-non-zero
+			// loop below allocates nothing (hotalloc).
 			kron := make([]float64, y.Cols)
+			perm := make([]int32, x.Order)
 			rowLo, rowHi := sched.ownedRows(w)
 			spill := spills.buffer(w)
-			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			emit := func(idx []int32, val float64) {
+				kronRows(u, idx[1:], kron)
+				row := int(idx[0])
+				if row >= rowLo && row < rowHi {
+					dense.AxpyCompact(val, kron, y.Row(row))
+				} else {
+					spill.add(row, val, kron)
+				}
+			}
 			for _, k32 := range sched.bin(w) {
 				k := int(k32)
 				if err := wk.Tick(k); err != nil {
 					return err
 				}
-				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
-				sub.Values = x.Values[k : k+1]
-				sub.ForEachExpanded(func(idx []int32, val float64) {
-					kronRows(u, idx[1:], kron)
-					row := int(idx[0])
-					if row >= rowLo && row < rowHi {
-						dense.AxpyCompact(val, kron, y.Row(row))
-					} else {
-						spill.add(row, val, kron)
-					}
-				})
+				x.ForEachExpandedOf(k, perm, emit)
 			}
 			return nil
 		},
@@ -121,20 +123,19 @@ func ucooStriped(x *spsym.Tensor, u *linalg.Matrix, opts Options, workers int, y
 		Workers: workers,
 		Body: func(wk *exec.Worker, lo, hi int) error {
 			kron := make([]float64, y.Cols)
-			sub := &spsym.Tensor{Order: x.Order, Dim: x.Dim}
+			perm := make([]int32, x.Order)
+			emit := func(idx []int32, val float64) {
+				kronRows(u, idx[1:], kron)
+				row := int(idx[0])
+				locks.lock(row)
+				dense.AxpyCompact(val, kron, y.Row(row))
+				locks.unlock(row)
+			}
 			for k := lo; k < hi; k++ {
 				if err := wk.Tick(k); err != nil {
 					return err
 				}
-				sub.Index = x.Index[k*x.Order : (k+1)*x.Order]
-				sub.Values = x.Values[k : k+1]
-				sub.ForEachExpanded(func(idx []int32, val float64) {
-					kronRows(u, idx[1:], kron)
-					row := int(idx[0])
-					locks.lock(row)
-					dense.AxpyCompact(val, kron, y.Row(row))
-					locks.unlock(row)
-				})
+				x.ForEachExpandedOf(k, perm, emit)
 			}
 			return nil
 		},

@@ -3,12 +3,14 @@ package linalg
 // This file implements the GEMM variants the Tucker drivers use. All of
 // them parallelize over output rows via ParallelFor — the single threading
 // knob — and are built on the register-blocked micro-kernels in
-// microkernel.go: Mul and MulTN stream K in gemmKC panels through axpy4
-// (four source rows folded into one destination pass), while the dot-shaped
-// variants (MulNT, MulNTWeighted, GramWeighted) walk 4x4 output tiles with
-// sixteen register accumulators. Row-major layout keeps every inner loop on
-// contiguous memory; tails smaller than a tile fall back to the scalar
-// helpers, which preserve the naive loops' semantics exactly.
+// microkernel.go: Mul and MulTN stream K in gemmKC panels through axpy8
+// (eight source rows folded into one destination pass, stepping down to
+// axpy4 and scalar on the K tail), while the dot-shaped variants walk
+// output tiles of row-dot accumulators — 8x4 for MulNT, 4x4 for the
+// weighted variants whose triangle corners make the wider tile ragged.
+// Row-major layout keeps every inner loop on contiguous memory; tails
+// smaller than a tile fall back to the narrower tile and finally the
+// scalar helpers, which preserve the naive loops' semantics exactly.
 
 // Mul returns C = A·B.
 func Mul(a, b *Matrix) *Matrix {
@@ -23,6 +25,17 @@ func Mul(a, b *Matrix) *Matrix {
 				arow := a.Row(i)
 				crow := c.Row(i)
 				k := k0
+				for ; k+7 < k1; k += 8 {
+					av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					av4, av5, av6, av7 := arow[k+4], arow[k+5], arow[k+6], arow[k+7]
+					if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 &&
+						av4 == 0 && av5 == 0 && av6 == 0 && av7 == 0 {
+						continue
+					}
+					axpy8(crow, av0, av1, av2, av3, av4, av5, av6, av7,
+						b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3),
+						b.Row(k+4), b.Row(k+5), b.Row(k+6), b.Row(k+7))
+				}
 				for ; k+3 < k1; k += 4 {
 					av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
 					if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
@@ -63,6 +76,22 @@ func MulTNRange(c, a, b *Matrix, lo, hi int) {
 	for k0 := 0; k0 < a.Rows; k0 += gemmKC {
 		k1 := min(k0+gemmKC, a.Rows)
 		k := k0
+		for ; k+7 < k1; k += 8 {
+			ar0, ar1, ar2, ar3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+			ar4, ar5, ar6, ar7 := a.Row(k+4), a.Row(k+5), a.Row(k+6), a.Row(k+7)
+			br0, br1, br2, br3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+			br4, br5, br6, br7 := b.Row(k+4), b.Row(k+5), b.Row(k+6), b.Row(k+7)
+			for i := lo; i < hi; i++ {
+				av0, av1, av2, av3 := ar0[i], ar1[i], ar2[i], ar3[i]
+				av4, av5, av6, av7 := ar4[i], ar5[i], ar6[i], ar7[i]
+				if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 &&
+					av4 == 0 && av5 == 0 && av6 == 0 && av7 == 0 {
+					continue
+				}
+				axpy8(c.Row(i), av0, av1, av2, av3, av4, av5, av6, av7,
+					br0, br1, br2, br3, br4, br5, br6, br7)
+			}
+		}
 		for ; k+3 < k1; k += 4 {
 			ar0, ar1, ar2, ar3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
 			br0, br1, br2, br3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
@@ -92,6 +121,26 @@ func MulNT(a, b *Matrix) *Matrix {
 	c := NewMatrix(a.Rows, b.Rows)
 	ParallelFor(a.Rows, func(lo, hi int) {
 		i := lo
+		for ; i+7 < hi; i += 8 {
+			ar0, ar1, ar2, ar3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+			ar4, ar5, ar6, ar7 := a.Row(i+4), a.Row(i+5), a.Row(i+6), a.Row(i+7)
+			j := 0
+			for ; j+3 < b.Rows; j += 4 {
+				var acc [32]float64
+				dot8x4(ar0, ar1, ar2, ar3, ar4, ar5, ar6, ar7,
+					b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3), &acc)
+				for ii := 0; ii < 8; ii++ {
+					crow := c.Row(i + ii)
+					crow[j], crow[j+1], crow[j+2], crow[j+3] = acc[ii*4], acc[ii*4+1], acc[ii*4+2], acc[ii*4+3]
+				}
+			}
+			for ; j < b.Rows; j++ {
+				brow := b.Row(j)
+				for ii, arow := range [][]float64{ar0, ar1, ar2, ar3, ar4, ar5, ar6, ar7} {
+					c.Row(i + ii)[j] = dot(arow, brow)
+				}
+			}
+		}
 		for ; i+3 < hi; i += 4 {
 			ar0, ar1, ar2, ar3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
 			cr0, cr1, cr2, cr3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)

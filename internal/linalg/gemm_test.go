@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -190,5 +191,69 @@ func TestMicrokernelTails(t *testing.T) {
 	}
 	if d := dotW([]float64{1, 2}, []float64{2, 0.5}, []float64{3, 4}); d != 10 {
 		t.Fatalf("dotW = %v, want 10", d)
+	}
+}
+
+func TestWideMicrokernels(t *testing.T) {
+	// axpy8 against eight sequential axpy1 folds on a j tail (len 3) and a
+	// full 4-wide step (len 4): same operands, the widened fold must only
+	// reassociate, never drop or duplicate a term.
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{3, 4, 7} {
+		dst := make([]float64, n)
+		ref := make([]float64, n)
+		for i := range dst {
+			v := rng.NormFloat64()
+			dst[i], ref[i] = v, v
+		}
+		var as [8]float64
+		var bs [8][]float64
+		for r := range bs {
+			as[r] = rng.NormFloat64()
+			bs[r] = make([]float64, n)
+			for j := range bs[r] {
+				bs[r][j] = rng.NormFloat64()
+			}
+		}
+		axpy8(dst, as[0], as[1], as[2], as[3], as[4], as[5], as[6], as[7],
+			bs[0], bs[1], bs[2], bs[3], bs[4], bs[5], bs[6], bs[7])
+		for j := range ref {
+			var sum float64
+			for r := range bs {
+				sum += as[r] * bs[r][j]
+			}
+			ref[j] += sum
+		}
+		for j := range dst {
+			if diff := math.Abs(dst[j] - ref[j]); diff > 1e-12 {
+				t.Fatalf("axpy8 n=%d: dst[%d]=%v want %v", n, j, dst[j], ref[j])
+			}
+		}
+	}
+	// dot8x4 must agree bitwise with the scalar dot: each accumulator uses
+	// the same per-k association, so no tolerance is needed.
+	n := 13
+	var a [8][]float64
+	var bm [4][]float64
+	for r := range a {
+		a[r] = make([]float64, n)
+		for k := range a[r] {
+			a[r][k] = rng.NormFloat64()
+		}
+	}
+	for r := range bm {
+		bm[r] = make([]float64, n)
+		for k := range bm[r] {
+			bm[r][k] = rng.NormFloat64()
+		}
+	}
+	var acc [32]float64
+	dot8x4(a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7], bm[0], bm[1], bm[2], bm[3], &acc)
+	for ii := 0; ii < 8; ii++ {
+		for jj := 0; jj < 4; jj++ {
+			if want := dot(a[ii], bm[jj]); acc[ii*4+jj] != want {
+				t.Fatalf("dot8x4 acc[%d][%d]=%v, scalar dot %v", ii, jj, acc[ii*4+jj], want)
+			}
+		}
 	}
 }

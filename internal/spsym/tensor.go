@@ -221,11 +221,42 @@ func (t *Tensor) ExpandPermutations() ([]int32, []float64) {
 func (t *Tensor) ForEachExpanded(f func(idx []int32, val float64)) {
 	perm := make([]int32, t.Order)
 	for k := 0; k < t.NNZ(); k++ {
-		copy(perm, t.IndexAt(k))
-		v := t.Values[k]
-		forEachDistinctPermutation(perm, func(p []int32) {
-			f(p, v)
-		})
+		t.ForEachExpandedOf(k, perm, f)
+	}
+}
+
+// ForEachExpandedOf invokes f for every distinct permutation of non-zero
+// k, in lexicographic order. perm is caller-provided scratch of length at
+// least t.Order, so per-non-zero streaming loops (the UCOO and n-ary
+// kernels call this once per non-zero per sweep) allocate nothing: hoist
+// perm and f out of the loop and the whole expansion runs on per-worker
+// state. The permutation walk is inlined rather than delegated to
+// forEachDistinctPermutation so no per-call adapter closure is needed.
+// The index slice passed to f aliases perm; f must not retain it.
+func (t *Tensor) ForEachExpandedOf(k int, perm []int32, f func(idx []int32, val float64)) {
+	p := perm[:t.Order]
+	copy(p, t.IndexAt(k))
+	v := t.Values[k]
+	n := len(p)
+	for {
+		f(p, v)
+		// Find rightmost i with p[i] < p[i+1].
+		i := n - 2
+		for i >= 0 && p[i] >= p[i+1] {
+			i--
+		}
+		if i < 0 {
+			// Restore ascending order for the next caller and stop.
+			reverse(p)
+			return
+		}
+		// Find rightmost j > i with p[j] > p[i]; swap; reverse suffix.
+		j := n - 1
+		for p[j] <= p[i] {
+			j--
+		}
+		p[i], p[j] = p[j], p[i]
+		reverse(p[i+1:])
 	}
 }
 

@@ -1,7 +1,9 @@
 // Command benchguard compares the two newest committed BENCH_<date>.json
 // snapshots (tools/benchjson output, ordered by file name — the names embed
 // the date, so lexical order is chronological) and fails when any benchmark
-// matching -pattern regressed in ns/op by more than -tol.
+// matching -pattern regressed in ns/op by more than -tol. Per-plan busy-ns
+// columns (from the engine's observability counters) are printed beside each
+// comparison for attribution but are never gated.
 //
 // It is the perf gate behind `make bench-guard` and CI's bench-smoke job:
 // a PR that lands a new snapshot must keep the S³TTMc kernels within
@@ -23,6 +25,12 @@ import (
 type benchmark struct {
 	Name    string  `json:"name"`
 	NsPerOp float64 `json:"ns_per_op"`
+	// Extra carries custom b.ReportMetric columns (benchjson's "extra" map),
+	// e.g. the per-plan engine counters "s3ttmc.owner-busy-ns/op". Busy-ns
+	// columns are reported informationally next to the guarded ns/op delta so
+	// a wall-clock regression can be attributed to a specific plan without
+	// rerunning the benchmark.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type snapshot struct {
@@ -77,9 +85,9 @@ func main() {
 		return
 	}
 
-	baseline := make(map[string]float64, len(base.Benchmarks))
+	baseline := make(map[string]benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		baseline[b.Name] = b.NsPerOp
+		baseline[b.Name] = b
 	}
 
 	fmt.Printf("benchguard: %s vs %s (pattern %q, tol %.0f%%)\n",
@@ -89,20 +97,22 @@ func main() {
 		if !strings.Contains(b.Name, *pattern) {
 			continue
 		}
-		old, ok := baseline[b.Name]
-		if !ok || old <= 0 {
+		prev, ok := baseline[b.Name]
+		if !ok || prev.NsPerOp <= 0 {
 			fmt.Printf("  new       %-70s %12.0f ns/op\n", b.Name, b.NsPerOp)
+			printBusy(b, benchmark{})
 			continue
 		}
 		compared++
-		delta := (b.NsPerOp - old) / old
+		delta := (b.NsPerOp - prev.NsPerOp) / prev.NsPerOp
 		status := "ok"
 		if delta > *tol {
 			status = "REGRESSED"
 			failed++
 		}
 		fmt.Printf("  %-9s %-70s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
-			status, b.Name, old, b.NsPerOp, delta*100)
+			status, b.Name, prev.NsPerOp, b.NsPerOp, delta*100)
+		printBusy(b, prev)
 	}
 	if compared == 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: no benchmark matched %q in both snapshots\n", *pattern)
@@ -113,4 +123,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchguard: %d benchmark(s) within tolerance\n", compared)
+}
+
+// printBusy lists the per-plan busy-ns columns of a head benchmark, with the
+// baseline value alongside when the older snapshot recorded the same column.
+// Busy time is attribution, not a gate: plan-level skew within a steady
+// wall-clock is expected (e.g. fused kernels shifting work out of the reduce
+// plan), so these lines never fail the guard.
+func printBusy(head, base benchmark) {
+	keys := make([]string, 0, len(head.Extra))
+	for k := range head.Extra {
+		if strings.Contains(k, "busy-ns") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if old, ok := base.Extra[k]; ok && old > 0 {
+			fmt.Printf("            %-68s %12.0f -> %12.0f\n", k, old, head.Extra[k])
+		} else {
+			fmt.Printf("            %-68s %12.0f\n", k, head.Extra[k])
+		}
+	}
 }
