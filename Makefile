@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke obs-smoke bench bench-json bench-guard verify examples reproduce generate clean
+.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke obs-smoke serve-smoke bench bench-json bench-guard verify examples reproduce generate clean
 
 all: build vet lint test
 
@@ -38,11 +38,13 @@ fuzz-smoke:
 
 # The resilience suite under the race detector: fault-injected cancels,
 # worker panics, guard rejections, NaN poisoning, checkpoint/resume, and
-# the goroutine-leak checks (see DESIGN.md §7).
+# the goroutine-leak checks (see DESIGN.md §7). internal/jobs runs in
+# full: the job server's admission (jobs.admit), run (jobs.run), retry,
+# drain, and rescan paths are all fault-driven tests.
 fault-matrix:
 	$(GO) test -race -run 'Fault|Cancel|Resilien|Leak|Checkpoint|Resume|Panic|Budget|NaN|Breakdown|Guard' \
 		./internal/kernels/ ./internal/tucker/ ./internal/memguard/ ./cmd/symprop/
-	$(GO) test -race ./internal/exec/ ./internal/faultinject/ ./internal/checkpoint/
+	$(GO) test -race ./internal/exec/ ./internal/faultinject/ ./internal/checkpoint/ ./internal/jobs/
 
 # End-to-end SIGINT → checkpoint → resume smoke test through the real CLI
 # signal path (exit status 3, bit-identical resumed trace).
@@ -53,6 +55,13 @@ resume-smoke:
 # -trace, artifacts validated against the schema by tools/obscheck.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# End-to-end job-server smoke test through real processes and signals:
+# SIGKILL mid-job → restart → bit-identical checkpoint resume, then
+# SIGTERM → graceful drain (exit 0) → the drained job survives a third
+# server generation (see docs/SERVING.md).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # testing.B benchmarks (one family per paper table/figure).
 bench:

@@ -1,0 +1,79 @@
+package checkpoint
+
+// Spool enumeration: List scans a directory for SYMCKPT snapshots so a
+// job server (internal/jobs) restarting after a crash can discover which
+// runs are resumable. Non-snapshot files ("foreign": editor droppings,
+// manifests, tensors sharing the spool directory) and corrupt snapshots
+// are reported per entry with typed errors — never a panic and never an
+// aborted scan, because one bad file must not make every other job's
+// state unreachable.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrNotSnapshot marks a file that is not a SYMCKPT snapshot at all (too
+// short to hold the magic, or wrong magic) — as opposed to a snapshot
+// that is recognizably ours but damaged, which is ErrCheckpointCorrupt.
+// Detect it with errors.Is.
+var ErrNotSnapshot = errors.New("checkpoint: not a snapshot file")
+
+// ListEntry is one regular file List inspected.
+type ListEntry struct {
+	// Path is the file's full path (dir joined with its name).
+	Path string
+	// State is the decoded snapshot when Err is nil, otherwise nil.
+	State *State
+	// Err classifies an unusable file: errors.Is(Err, ErrNotSnapshot) for
+	// foreign files, errors.Is(Err, ErrCheckpointCorrupt) for damaged
+	// snapshots, or the underlying I/O error (e.g. a permission failure).
+	Err error
+}
+
+// List inspects every regular file directly inside dir (subdirectories
+// are not descended) and returns one entry per file, sorted by path.
+// Foreign and corrupt files come back with a per-entry typed Err instead
+// of failing the scan. Only reading the directory itself can fail.
+func List(dir string) ([]ListEntry, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list %s: %w", dir, err)
+	}
+	out := make([]ListEntry, 0, len(ents))
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		if t := de.Type(); !t.IsRegular() {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		e := ListEntry{Path: path}
+		e.State, e.Err = loadClassified(path)
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// loadClassified is Load with the foreign/corrupt distinction List needs:
+// a file that never was a snapshot gets ErrNotSnapshot rather than the
+// corruption error Load reports for anything with a bad header.
+func loadClassified(path string) (*State, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(magic)+1 || string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%s: %w", path, ErrNotSnapshot)
+	}
+	s, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}

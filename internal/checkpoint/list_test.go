@@ -1,0 +1,94 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListClassifiesEveryFile(t *testing.T) {
+	dir := t.TempDir()
+
+	// A valid snapshot.
+	good := filepath.Join(dir, "a-good.ckpt")
+	if err := Save(good, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt snapshot: right magic, flipped payload byte (CRC mismatch).
+	corrupt := filepath.Join(dir, "b-corrupt.ckpt")
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[20] ^= 0xff
+	if err := os.WriteFile(corrupt, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated snapshot: magic intact but cut mid-payload.
+	truncated := filepath.Join(dir, "c-truncated.ckpt")
+	if err := os.WriteFile(truncated, raw[:24], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign files: a manifest-looking JSON blob and a near-empty file.
+	foreign := filepath.Join(dir, "d-job.json")
+	if err := os.WriteFile(foreign, []byte(`{"state":"queued"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tiny := filepath.Join(dir, "e-tiny")
+	if err := os.WriteFile(tiny, []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A subdirectory must be skipped, not descended or reported.
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("List returned %d entries, want 5: %+v", len(got), got)
+	}
+	// Sorted by path, so the order is deterministic.
+	wantPath := []string{good, corrupt, truncated, foreign, tiny}
+	for i, e := range got {
+		if e.Path != wantPath[i] {
+			t.Errorf("entry %d path = %s, want %s", i, e.Path, wantPath[i])
+		}
+	}
+	if got[0].Err != nil || got[0].State == nil {
+		t.Errorf("valid snapshot: err=%v state=%v", got[0].Err, got[0].State)
+	} else if got[0].State.Algo != "hoqri" || got[0].State.Iteration != 4 {
+		t.Errorf("valid snapshot decoded wrong: %+v", got[0].State)
+	}
+	for _, i := range []int{1, 2} {
+		if !errors.Is(got[i].Err, ErrCheckpointCorrupt) || got[i].State != nil {
+			t.Errorf("entry %d (%s): err=%v, want ErrCheckpointCorrupt", i, got[i].Path, got[i].Err)
+		}
+		if errors.Is(got[i].Err, ErrNotSnapshot) {
+			t.Errorf("entry %d: corrupt snapshot misclassified as foreign", i)
+		}
+	}
+	for _, i := range []int{3, 4} {
+		if !errors.Is(got[i].Err, ErrNotSnapshot) || got[i].State != nil {
+			t.Errorf("entry %d (%s): err=%v, want ErrNotSnapshot", i, got[i].Path, got[i].Err)
+		}
+		if errors.Is(got[i].Err, ErrCheckpointCorrupt) {
+			t.Errorf("entry %d: foreign file misclassified as corrupt", i)
+		}
+	}
+}
+
+func TestListEmptyAndMissingDir(t *testing.T) {
+	dir := t.TempDir()
+	got, err := List(dir)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty dir: entries=%v err=%v", got, err)
+	}
+	if _, err := List(filepath.Join(dir, "nope")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing dir: err=%v, want ErrNotExist", err)
+	}
+}

@@ -40,6 +40,17 @@ const (
 	// the 0-based iteration number as payload. Hooks typically cancel a
 	// context; a non-nil error aborts the run.
 	SiteIteration Site = "tucker.iteration"
+	// SiteJobAdmit fires inside the job server's admission path
+	// (internal/jobs) with the submitted *jobs.Spec as payload, before any
+	// queue or guard check. A non-nil hook error makes admission fail as
+	// saturation (HTTP 429 + Retry-After), exercising the client-side
+	// backoff contract.
+	SiteJobAdmit Site = "jobs.admit"
+	// SiteJobRun fires at the top of every job run attempt (internal/jobs)
+	// with the job ID as payload. A non-nil hook error is fed to the
+	// server's retry classifier as a retryable worker failure; a hook may
+	// also panic to simulate a runner crash.
+	SiteJobRun Site = "jobs.run"
 )
 
 // Hook inspects (and may mutate) the payload fired at a site. Returning a

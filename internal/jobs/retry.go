@@ -1,0 +1,150 @@
+package jobs
+
+// Retry policy: every run failure is classified into exactly one Class,
+// and only ClassRetryable consumes the backoff budget. The taxonomy
+// reuses the resilient runtime's sentinels (DESIGN.md §7) — the server
+// adds one layer on top of the driver's own one-shot recoveries (budget
+// degradation, jittered restart): where the driver gives up with a typed
+// error, the server decides whether a fresh attempt from the last
+// checkpoint is worth anything.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/symprop/symprop/internal/checkpoint"
+	"github.com/symprop/symprop/internal/kernels"
+	"github.com/symprop/symprop/internal/memguard"
+	"github.com/symprop/symprop/internal/tucker"
+)
+
+// Class is a run failure's disposition.
+type Class int
+
+const (
+	// ClassTerminal: no retry can help (bad spec reaching the driver, an
+	// unknown error); the job fails with the error recorded.
+	ClassTerminal Class = iota
+	// ClassRetryable: a fresh attempt (resuming from the checkpoint) may
+	// succeed — worker panics, memory pressure from concurrent jobs,
+	// numeric breakdown, injected jobs.run faults, checkpoint
+	// corruption/mismatch (retried after discarding the bad snapshot).
+	ClassRetryable
+	// ClassCanceled: the client canceled the job or its deadline passed;
+	// terminal, but a distinct state (Canceled, not Failed).
+	ClassCanceled
+	// ClassDrained: the server is shutting down; the job was snapshotted
+	// on the way out and goes back to Queued for the next process.
+	ClassDrained
+)
+
+// RetryPolicy bounds and paces the per-job retry loop. The zero value is
+// usable: normalize applies the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of run attempts per process
+	// lifetime (first try included). Default 3.
+	MaxAttempts int
+	// BaseDelay is the first retry's backoff before jitter. Default
+	// 250ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Default 30s.
+	MaxDelay time.Duration
+	// Seed drives the jitter; 0 seeds from the clock. Tests pin it.
+	Seed int64
+
+	// state holds the jitter RNG behind a pointer so a RetryPolicy (and
+	// the Config embedding it) stays copyable before first use.
+	state *retryState
+}
+
+type retryState struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// normalize applies defaults and builds the RNG. Idempotent; not safe
+// for concurrent first calls — Config.normalize runs it once before the
+// runner fleet starts.
+func (p *RetryPolicy) normalize() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 250 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 30 * time.Second
+	}
+	if p.state == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		p.state = &retryState{rng: rand.New(rand.NewSource(seed))}
+	}
+}
+
+// Delay returns the jittered exponential backoff before retry number
+// retry (1-based): BaseDelay·2^(retry−1), capped at MaxDelay, scaled by
+// a uniform factor in [0.5, 1.5) so synchronized failures (a fleet of
+// jobs killed by the same pressure spike) do not retry in lockstep.
+func (p *RetryPolicy) Delay(retry int) time.Duration {
+	p.normalize()
+	if retry < 1 {
+		retry = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	p.state.mu.Lock()
+	f := 0.5 + p.state.rng.Float64()
+	p.state.mu.Unlock()
+	j := time.Duration(float64(d) * f)
+	if j > p.MaxDelay {
+		j = p.MaxDelay
+	}
+	return j
+}
+
+// Classify maps a run error to its disposition. The cancellation causes
+// are inspected through the *CanceledError chain (tucker unwraps to the
+// context cause), so drain, client cancel, and deadline are told apart
+// by the sentinel the server installed when it canceled the context.
+func (p *RetryPolicy) Classify(err error) Class {
+	switch {
+	case err == nil:
+		return ClassTerminal // callers must not classify success
+	case errors.Is(err, ErrDraining):
+		return ClassDrained
+	case errors.Is(err, errCanceledByClient),
+		errors.Is(err, context.DeadlineExceeded):
+		return ClassCanceled
+	case errors.Is(err, tucker.ErrCanceled):
+		// Canceled for a cause the server did not install (e.g. the
+		// manager's root context died): treat as drain so the job's
+		// manifest goes back to Queued rather than a spurious Failed.
+		return ClassDrained
+	case errors.Is(err, kernels.ErrWorkerPanic),
+		errors.Is(err, tucker.ErrNumericBreakdown),
+		errors.Is(err, memguard.ErrOutOfMemory),
+		errors.Is(err, checkpoint.ErrCheckpointCorrupt),
+		errors.Is(err, checkpoint.ErrMismatch),
+		errors.Is(err, errInjectedRunFault),
+		errors.Is(err, errAttemptPanic):
+		return ClassRetryable
+	default:
+		return ClassTerminal
+	}
+}
+
+// errInjectedRunFault wraps jobs.run fault-injection hook errors so the
+// classifier can recognize them as retryable without whitelisting
+// arbitrary test errors.
+var errInjectedRunFault = errors.New("jobs: injected run fault")

@@ -1,0 +1,91 @@
+package obs
+
+// Counters is the runtime-event sibling of the per-plan Metrics collector:
+// a named set of int64 counters and gauges for components that are not
+// exec plans — the job server's queue depth, retry totals, drain events.
+// Where Metrics answers "which plan burned the wall clock", Counters
+// answers "what did the serving runtime do"; both are snapshot-based so
+// exporters (expvar, /metrics handlers) pay nothing until scraped.
+//
+// Counters are cheap but not free (one mutex acquisition per update), so
+// they belong on control-plane paths — admission, retry, state changes —
+// never inside kernel loops. A nil *Counters is valid everywhere one is
+// accepted and records nothing, mirroring the Metrics convention.
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counters is a named monotonic-counter and gauge set. The zero value is
+// not usable; construct with NewCounters. Safe for concurrent use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta (negative deltas allowed for
+// gauge-style decrement). nil-safe.
+func (c *Counters) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Set overwrites the named value — the gauge form (queue depth, running
+// jobs). nil-safe.
+func (c *Counters) Set(name string, v int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[name] = v
+	c.mu.Unlock()
+}
+
+// Value returns the named value, 0 when never recorded. nil-safe.
+func (c *Counters) Value(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of every recorded value. nil-safe (returns nil).
+func (c *Counters) Snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// Names returns the recorded counter names, sorted. nil-safe.
+func (c *Counters) Names() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

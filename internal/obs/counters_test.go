@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Add("jobs.retries", 1)
+	c.Add("jobs.retries", 2)
+	c.Set("jobs.queue_depth", 7)
+	c.Set("jobs.queue_depth", 3)
+	if got := c.Value("jobs.retries"); got != 3 {
+		t.Errorf("retries = %d, want 3", got)
+	}
+	if got := c.Value("jobs.queue_depth"); got != 3 {
+		t.Errorf("queue_depth = %d, want 3", got)
+	}
+	if got := c.Value("never.recorded"); got != 0 {
+		t.Errorf("unrecorded counter = %d, want 0", got)
+	}
+	want := map[string]int64{"jobs.retries": 3, "jobs.queue_depth": 3}
+	if got := c.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Snapshot = %v, want %v", got, want)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"jobs.queue_depth", "jobs.retries"}) {
+		t.Errorf("Names = %v", got)
+	}
+	// Snapshot must be a copy, not an alias.
+	c.Snapshot()["jobs.retries"] = 99
+	if got := c.Value("jobs.retries"); got != 3 {
+		t.Errorf("snapshot mutation leaked: retries = %d", got)
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Add("x", 1)
+	c.Set("x", 2)
+	if c.Value("x") != 0 || c.Snapshot() != nil || c.Names() != nil {
+		t.Error("nil Counters must record nothing")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value("n"); got != 8000 {
+		t.Errorf("n = %d, want 8000", got)
+	}
+}

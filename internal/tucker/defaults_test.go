@@ -1,0 +1,38 @@
+package tucker
+
+import (
+	"testing"
+
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// TestCheckpointEveryDefault pins the documented snapshot-period default:
+// symprop.Options, tucker.Options, and the CLI flag all say the unset
+// period is DefaultCheckpointEvery iterations, and normalize is the one
+// place that applies it. A change to either the constant or normalize's
+// behavior must update the docs (and this test) together.
+func TestCheckpointEveryDefault(t *testing.T) {
+	if DefaultCheckpointEvery != 10 {
+		t.Fatalf("DefaultCheckpointEvery = %d; the documented default is 10 — update symprop.Options, tucker.Options, and cmd/symprop docs together", DefaultCheckpointEvery)
+	}
+	x := spsym.New(3, 4)
+	x.Append([]int{0, 1, 2}, 1.0)
+	x.Canonicalize()
+	for _, in := range []int{0, -5} {
+		o := Options{Rank: 2, CheckpointEvery: in}
+		if err := o.normalize(x); err != nil {
+			t.Fatal(err)
+		}
+		if o.CheckpointEvery != DefaultCheckpointEvery {
+			t.Errorf("normalize(CheckpointEvery=%d) = %d, want %d", in, o.CheckpointEvery, DefaultCheckpointEvery)
+		}
+	}
+	// An explicit period must survive normalization untouched.
+	o := Options{Rank: 2, CheckpointEvery: 3}
+	if err := o.normalize(x); err != nil {
+		t.Fatal(err)
+	}
+	if o.CheckpointEvery != 3 {
+		t.Errorf("normalize(CheckpointEvery=3) = %d, want 3", o.CheckpointEvery)
+	}
+}

@@ -25,6 +25,12 @@ import (
 	"github.com/symprop/symprop/internal/spsym"
 )
 
+// DefaultCheckpointEvery is the snapshot period normalize applies when
+// CheckpointEvery is unset (<= 0). It is the single source of truth the
+// symprop.Options and CLI documentation refer to; TestCheckpointEveryDefault
+// pins it so doc drift fails loudly.
+const DefaultCheckpointEvery = 10
+
 // Init selects the factor-matrix initialization strategy.
 type Init int
 
@@ -77,8 +83,9 @@ type Options struct {
 	// the iteration state (see internal/checkpoint). A run resumed from the
 	// snapshot reproduces the uninterrupted run's trace bit-for-bit.
 	CheckpointPath string
-	// CheckpointEvery is the snapshot period in iterations; defaults to 10
-	// when CheckpointPath is set.
+	// CheckpointEvery is the snapshot period in iterations; any value <= 0
+	// (including the zero value) is normalized to DefaultCheckpointEvery.
+	// It only has an effect when CheckpointPath is set.
 	CheckpointEvery int
 	// Resume, when non-nil, restores a snapshot instead of initializing:
 	// the run continues from the stored iteration with the stored factor
@@ -136,7 +143,7 @@ func (o *Options) normalize(x *spsym.Tensor) error {
 		return fmt.Errorf("tucker: U0 is %dx%d, want %dx%d", o.U0.Rows, o.U0.Cols, x.Dim, o.Rank)
 	}
 	if o.CheckpointEvery <= 0 {
-		o.CheckpointEvery = 10
+		o.CheckpointEvery = DefaultCheckpointEvery
 	}
 	return nil
 }

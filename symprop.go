@@ -177,7 +177,9 @@ type Options struct {
 	// CheckpointPath enables periodic resumable snapshots; see
 	// tucker.Options.CheckpointPath.
 	CheckpointPath string
-	// CheckpointEvery is the snapshot period in iterations (default 10).
+	// CheckpointEvery is the snapshot period in iterations; any value <= 0
+	// uses tucker.DefaultCheckpointEvery (10). Effective only with
+	// CheckpointPath.
 	CheckpointEvery int
 	// Resume restores the snapshot at CheckpointPath instead of
 	// initializing; the resumed run's trace is bit-identical to an
