@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke obs-smoke serve-smoke bench bench-json bench-guard verify examples reproduce generate clean
+.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke obs-smoke serve-smoke shard-smoke bench bench-json bench-guard verify examples reproduce generate clean
 
 all: build vet lint test
 
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) -run=^$$ ./internal/hypergraph/
 	$(GO) test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run=^$$ ./internal/spsym/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) -run=^$$ ./internal/spsym/
+	$(GO) test -fuzz=FuzzShardEquivalence -fuzztime=$(FUZZTIME) -run=^$$ ./internal/shard/
 
 # The resilience suite under the race detector: fault-injected cancels,
 # worker panics, guard rejections, NaN poisoning, checkpoint/resume, and
@@ -44,7 +45,7 @@ fuzz-smoke:
 fault-matrix:
 	$(GO) test -race -run 'Fault|Cancel|Resilien|Leak|Checkpoint|Resume|Panic|Budget|NaN|Breakdown|Guard' \
 		./internal/kernels/ ./internal/tucker/ ./internal/memguard/ ./cmd/symprop/
-	$(GO) test -race ./internal/exec/ ./internal/faultinject/ ./internal/checkpoint/ ./internal/jobs/
+	$(GO) test -race ./internal/exec/ ./internal/faultinject/ ./internal/checkpoint/ ./internal/jobs/ ./internal/shard/
 
 # End-to-end SIGINT → checkpoint → resume smoke test through the real CLI
 # signal path (exit status 3, bit-identical resumed trace).
@@ -62,6 +63,13 @@ obs-smoke:
 # server generation (see docs/SERVING.md).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end sharding smoke test: -shards 4 through the real CLI must
+# write byte-identical factors to the single-engine run, the sharded
+# -metrics artifact must pass obscheck (per-shard s3ttmc.shard[i] plans),
+# and the shard package's determinism matrix runs under -race.
+shard-smoke:
+	./scripts/shard_smoke.sh
 
 # testing.B benchmarks (one family per paper table/figure).
 bench:

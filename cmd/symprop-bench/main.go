@@ -28,7 +28,7 @@ func main() {
 	sweepFlag := flag.String("sweep", "", "fig5 panel: rank, order, nnz, or dim (default: all four)")
 	outFlag := flag.String("o", "", "write the report to this file instead of stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	metricsOut := flag.String("metrics", "", "write the aggregated per-plan engine counters of every run as JSON to this file")
+	metricsOut := flag.String("metrics", "", "write the per-plan engine counters and runtime counters (fused-dispatch misses by order/rank/reason) of every run as JSON to this file")
 	svgDir := flag.String("svgdir", "", "also write sweep/convergence figures as SVG files into this directory")
 	csvDir := flag.String("csvdir", "", "also write every experiment table as CSV into this directory")
 	flag.Usage = usage
@@ -74,12 +74,20 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	if *metricsOut != "" {
-		// The global collector catches every engine plan the experiments run,
-		// without threading options through the bench harness.
+		// The global collectors catch every engine plan and runtime counter
+		// the experiments produce — including the kernels' fused-dispatch
+		// miss counters (fusion.miss[order= rank= reason=]) — without
+		// threading options through the bench harness.
 		m := obs.New()
 		obs.SetGlobal(m)
+		c := obs.NewCounters()
+		obs.SetGlobalCounters(c)
 		defer func() {
-			buf, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+			out := struct {
+				Plans    []obs.PlanMetrics `json:"plans"`
+				Counters map[string]int64  `json:"counters,omitempty"`
+			}{m.Snapshot(), c.Snapshot()}
+			buf, err := json.MarshalIndent(out, "", "  ")
 			if err != nil {
 				fatal(err)
 			}

@@ -137,6 +137,12 @@ type Spec struct {
 	// Config.JobWorkers. The resolved value is persisted in the manifest
 	// so a resumed job keeps its reduction order (bit-identity).
 	Workers int `json:"workers,omitempty"`
+	// Shards, when > 1, runs the job's kernels on that many isolated shard
+	// engines (internal/shard) — bitwise identical to single-engine
+	// execution for any count. The resolved value is pinned in the
+	// manifest so every attempt of the job, including post-crash resumes,
+	// runs the same execution layout.
+	Shards int `json:"shards,omitempty"`
 	// CheckpointEvery is the snapshot period in iterations; <= 0 uses
 	// tucker.DefaultCheckpointEvery.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
@@ -157,8 +163,8 @@ func (s *Spec) validate() error {
 	default:
 		return fmt.Errorf("%w: unknown algo %q", ErrInvalidSpec, s.Algo)
 	}
-	if s.MaxIters < 0 || s.TimeoutSec < 0 || s.CheckpointEvery < 0 || s.Workers < 0 {
-		return fmt.Errorf("%w: negative max_iters/timeout_sec/checkpoint_every/workers", ErrInvalidSpec)
+	if s.MaxIters < 0 || s.TimeoutSec < 0 || s.CheckpointEvery < 0 || s.Workers < 0 || s.Shards < 0 {
+		return fmt.Errorf("%w: negative max_iters/timeout_sec/checkpoint_every/workers/shards", ErrInvalidSpec)
 	}
 	return nil
 }

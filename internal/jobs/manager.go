@@ -276,6 +276,10 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	if workers <= 0 {
 		workers = m.cfg.JobWorkers
 	}
+	shards := spec.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	est := estimateBytes(x, spec.Rank, workers)
 	if err := m.guard.Reserve(est, "job admission"); err != nil {
 		m.counters.Add("jobs.rejected.saturated", 1)
@@ -289,6 +293,7 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 			Spec:       spec,
 			State:      StateQueued,
 			Workers:    workers,
+			Shards:     shards,
 			EnqueuedAt: time.Now(),
 		},
 		x:        x,

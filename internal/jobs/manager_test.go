@@ -543,6 +543,84 @@ func TestDrainRequeuesAndResumesBitIdentical(t *testing.T) {
 	}
 }
 
+// TestShardedJobResumesBitIdentical is the sharded twin of the drain test:
+// a Shards=4 job interrupted mid-run and resumed by a "restarted server"
+// must produce the same result file as an uninterrupted *unsharded* run of
+// the same spec — sharding is bitwise invisible, and the manifest pins the
+// shard count so every attempt runs the same layout.
+func TestShardedJobResumesBitIdentical(t *testing.T) {
+	checkGoroutines(t)
+	spoolDir := t.TempDir()
+	spec := Spec{
+		Tensor:          testTensorText(t, 3, 12, 60, 5),
+		Rank:            4,
+		MaxIters:        30,
+		Seed:            9,
+		Workers:         2,
+		Shards:          4,
+		CheckpointEvery: 1,
+	}
+
+	midway := make(chan struct{})
+	var once sync.Once
+	disarm := faultinject.Arm(faultinject.SiteIteration, func(p any) error {
+		if p.(int) >= 4 {
+			once.Do(func() { close(midway) })
+		}
+		time.Sleep(2 * time.Millisecond) // hold the run open for the drain
+		return nil
+	})
+
+	a, err := Open(Config{SpoolDir: spoolDir, Runners: 1, MemoryBudget: -1,
+		Retry: fastRetry(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	id, err := a.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-midway
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := a.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	cancel()
+	disarm()
+
+	b := newManager(t, Config{SpoolDir: spoolDir, Runners: 1})
+	waitState(t, b, id, StateSucceeded)
+	man, err := b.spool.LoadManifest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Shards != 4 {
+		t.Errorf("manifest pinned shards=%d, want 4", man.Shards)
+	}
+	resumed, err := os.ReadFile(b.spool.ResultPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: same spec, uninterrupted, and single-engine.
+	control := spec
+	control.Shards = 0
+	c := newManager(t, Config{Runners: 1})
+	cid, err := c.Submit(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, cid, StateSucceeded)
+	plain, err := os.ReadFile(c.spool.ResultPath(cid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resumed) != string(plain) {
+		t.Error("sharded resumed factor differs from unsharded control run (bit-identity broken)")
+	}
+}
+
 // TestRescanRequeuesRunningManifest simulates the SIGKILL case the smoke
 // script exercises end to end: a manifest persisted as Running (the
 // process died mid-run) is requeued and completes on the next process.

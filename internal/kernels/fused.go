@@ -1,8 +1,11 @@
 package kernels
 
 import (
+	"fmt"
+
 	"github.com/symprop/symprop/internal/dense"
 	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/obs"
 )
 
 // Fusion selects whether the SymProp kernel may dispatch all-distinct
@@ -52,6 +55,45 @@ func resolveFusion(opts Options, compact bool, order, r int) fusedEvalFunc {
 		return nil
 	}
 	return fusedEvalFor(order, r)
+}
+
+// fusionMissReason classifies why a kernel call cannot dispatch to a fused
+// evaluator, mirroring resolveFusion's checks in order; "" means the call
+// is on the fused fast path. The reasons are the vocabulary of the
+// fused-dispatch miss counters below (docs/CODEGEN.md).
+func fusionMissReason(opts Options, compact bool, order, r int) string {
+	switch {
+	case opts.Fusion != FusionAuto:
+		return "fusion-off"
+	case !compact:
+		return "full-storage"
+	case opts.Iteration != IterGenerated:
+		return "iteration-strategy"
+	case opts.CrossNZCacheBytes > 0:
+		return "crossnz-cache"
+	case fusedEvalFor(order, r) == nil:
+		return "off-grid"
+	default:
+		return ""
+	}
+}
+
+// recordFusionMiss counts one resolveFusion fallback per (order, rank,
+// reason) in the process-global counter set, once per kernel call (not per
+// worker slot). The counters are how the genkernels grid grows
+// data-driven: `symprop-bench -metrics` snapshots them, and a hot
+// "off-grid" (order, rank) pair is a candidate for generation (ROADMAP
+// item 3). Disarmed cost is one atomic load.
+func recordFusionMiss(opts Options, compact bool, order, r int) {
+	c := obs.GlobalCounters()
+	if c == nil {
+		return
+	}
+	reason := fusionMissReason(opts, compact, order, r)
+	if reason == "" {
+		return
+	}
+	c.Add(fmt.Sprintf("fusion.miss[order=%d rank=%d reason=%s]", order, r, reason), 1)
 }
 
 // allDistinct reports whether the sorted IOU tuple has no repeated index —

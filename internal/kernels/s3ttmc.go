@@ -101,6 +101,25 @@ type Options struct {
 	// per-worker busy time, span, load imbalance) for every engine plan
 	// this kernel call runs. nil records nothing.
 	Obs *obs.Metrics
+	// Backend, when non-nil, routes S3TTMcSymProp/S3TTMcCSS through an
+	// alternative execution backend — in practice internal/shard's
+	// multi-engine fan-out (docs/SHARDING.md). nil runs the single-engine
+	// path in this package. The kernel clears the field before handing
+	// these Options to the backend, so backends reuse the remaining
+	// options for their per-shard calls without re-entering themselves.
+	Backend Backend
+}
+
+// Backend is the seam a sharded (or, later, networked) execution layer
+// plugs into: it receives exactly the arguments of the single-engine
+// kernel — opts with Backend already cleared — and must return an output
+// bitwise identical to it. internal/shard implements it; the interface
+// lives here so kernels do not import the layer above them.
+type Backend interface {
+	// S3TTMc computes the chain product for x and u. compact selects the
+	// SymProp compact unfolding (S3TTMcSymProp) versus the full CSS
+	// unfolding (S3TTMcCSS).
+	S3TTMc(x *spsym.Tensor, u *linalg.Matrix, compact bool, opts Options) (*linalg.Matrix, error)
 }
 
 func (o Options) workers() int {
@@ -109,6 +128,12 @@ func (o Options) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// EffectiveWorkers resolves the requested worker count the way every
+// kernel in this package does (GOMAXPROCS when Workers <= 0) — exported
+// so layered backends (internal/shard) size their engines and merge plans
+// identically.
+func (o Options) EffectiveWorkers() int { return o.workers() }
 
 // execConfig bundles the engine inputs of one kernel call.
 func (o Options) execConfig() exec.Config {
@@ -533,6 +558,20 @@ func S3TTMcSymProp(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Mat
 	if err := validate(x, u); err != nil {
 		return nil, err
 	}
+	recordFusionMiss(opts, true, x.Order, u.Cols)
+	if b := opts.Backend; b != nil {
+		opts.Backend = nil
+		y, err := b.S3TTMc(x, u, true, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Same output fault site as the single-engine path, so the
+		// resilience matrix covers both routes identically.
+		if err := exec.FireOutput("s3ttmc.symprop", y); err != nil {
+			return nil, err
+		}
+		return y, nil
+	}
 	r := u.Cols
 	cols := dense.Count(x.Order-1, r)
 	yBytes := memguard.Float64Bytes(int64(x.Dim) * cols)
@@ -585,6 +624,18 @@ func cssTreeBytes(nnz, order, r int) int64 {
 func S3TTMcCSS(x *spsym.Tensor, u *linalg.Matrix, opts Options) (*linalg.Matrix, error) {
 	if err := validate(x, u); err != nil {
 		return nil, err
+	}
+	recordFusionMiss(opts, false, x.Order, u.Cols)
+	if b := opts.Backend; b != nil {
+		opts.Backend = nil
+		y, err := b.S3TTMc(x, u, false, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := exec.FireOutput("s3ttmc.css", y); err != nil {
+			return nil, err
+		}
+		return y, nil
 	}
 	r := u.Cols
 	treeBytes := cssTreeBytes(x.NNZ(), x.Order, r)

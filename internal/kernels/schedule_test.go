@@ -3,6 +3,7 @@ package kernels
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -273,6 +274,57 @@ func TestSchedulingModesAgree(t *testing.T) {
 				t.Fatalf("%s: owner-computes not bitwise deterministic at %d", k.name, i)
 			}
 		}
+	}
+}
+
+// TestScheduleCacheConcurrentEngines hammers one ScheduleCache from many
+// goroutines at once — the shard fan-out access pattern, where P engines
+// resolve schedules and recycle spill buffers against a shared cache
+// simultaneously (internal/shard keeps the leaf-schedule cache global
+// across its engines). Under -race this is the data-race gate; the
+// assertions pin the memoization and the 64-buffer spill-pool bound.
+func TestScheduleCacheConcurrentEngines(t *testing.T) {
+	x, _ := randomCase(t, 3, 10, 30, 2, 41)
+	x2, _ := randomCase(t, 3, 12, 40, 2, 42)
+	var cache ScheduleCache
+	const goroutines = 8
+	const iters = 150
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if s := cache.get(x, 4); len(s.nzOrder) != x.NNZ() || s.dim != x.Dim {
+					t.Errorf("goroutine %d: invalid schedule from concurrent get", g)
+					return
+				}
+				cache.get(x2, 1+i%3)
+				// Mixed recycle traffic: pooled round trips plus a stream of
+				// fresh buffers that tries to blow past the pool bound.
+				a, b := cache.getSpill(x.Dim, 6), cache.getSpill(x.Dim, 6)
+				cache.putSpill([]*spillBuffer{a, b, newSpillBuffer(x.Dim, 6), nil})
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Exactly one entry per (tensor, workers) key ever requested.
+	if n := cache.Len(); n > 4 {
+		t.Errorf("cache holds %d schedules for 4 distinct keys", n)
+	}
+	if s1, s2 := cache.get(x, 4), cache.get(x, 4); s1 != s2 {
+		t.Error("memoization broken after concurrent population")
+	}
+	// The spill pool must honor its bound even though the workload pushed
+	// ~3 buffers per iteration per goroutine at it.
+	cache.mu.Lock()
+	free := len(cache.spillFree)
+	cache.mu.Unlock()
+	if free > 64 {
+		t.Errorf("spill pool holds %d buffers, bound is 64", free)
+	}
+	if free == 0 {
+		t.Error("spill pool empty after heavy recycle traffic")
 	}
 }
 

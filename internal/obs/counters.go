@@ -15,6 +15,7 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Counters is a named monotonic-counter and gauge set. The zero value is
@@ -73,6 +74,26 @@ func (c *Counters) Snapshot() map[string]int64 {
 	}
 	c.mu.Unlock()
 	return out
+}
+
+// globalCounters is the process-wide counter set instrumentation points
+// that cannot thread a *Counters through their call path consult — the
+// counter analog of the global Metrics collector. The fused-dispatch miss
+// counters in internal/kernels record here.
+var globalCounters atomic.Pointer[Counters]
+
+// SetGlobalCounters installs c as the process-global counter set (nil
+// uninstalls). Intended for whole-process tools (cmd/symprop-bench
+// -metrics), not libraries.
+func SetGlobalCounters(c *Counters) {
+	globalCounters.Store(c)
+}
+
+// GlobalCounters returns the process-global counter set, nil when none is
+// installed. One atomic load — combined with Counters' nil-safe methods,
+// `obs.GlobalCounters().Add(...)` is safe and near-free when disarmed.
+func GlobalCounters() *Counters {
+	return globalCounters.Load()
 }
 
 // Names returns the recorded counter names, sorted. nil-safe.

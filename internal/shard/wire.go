@@ -1,0 +1,296 @@
+// Package shard is the multi-engine S³TTMc backend (docs/SHARDING.md): it
+// partitions the owner-computes leaf schedule across P isolated engines —
+// each with its own exec.Pool, plan/workspace caches, and spill-buffer
+// pool — computes per-shard partial Y and Gram contributions, and merges
+// them with a deterministic, order-fixed reduce plan. Every partial
+// crosses shard boundaries through the explicit versioned wire format in
+// this file, even in-process, so a process or network transport is a
+// drop-in later (ROADMAP item 2 phase 2) without touching the kernels.
+//
+// The backend plugs into kernels.Options.Backend and is bitwise identical
+// to the single-engine path for every shard count: see
+// internal/kernels/partial.go for the argument and TestShardDeterminism /
+// FuzzShardEquivalence for the enforcement.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/symprop/symprop/internal/faultinject"
+	"github.com/symprop/symprop/internal/kernels"
+)
+
+// Wire format: a fixed header, a kind-specific payload of little-endian
+// fixed-width fields (float64s as IEEE-754 bit patterns, so round trips
+// are exact), and a trailing CRC-32 (IEEE) over header + payload.
+//
+//	offset size  field
+//	0      4     magic "SPW1"
+//	4      2     version (uint16, currently 1)
+//	6      1     kind (1 = Y partial, 2 = Gram band)
+//	7      1     reserved (0)
+//	8      ...   payload
+//	end-4  4     crc32
+//
+// Decoders reject unknown magic/version/kind and CRC mismatches — the
+// contract a lossy transport is tested against via the shard.encode fault
+// site, whose hooks corrupt frames in flight.
+const (
+	wireMagic   = "SPW1"
+	wireVersion = 1
+
+	kindYPartial = 1
+	kindGramBand = 2
+
+	headerLen = 8
+)
+
+// wireBuf is a little append-based writer; all encode paths funnel
+// through it so the byte layout is stated once.
+type wireBuf struct{ b []byte }
+
+func (w *wireBuf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wireBuf) u16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *wireBuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wireBuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+
+func (w *wireBuf) i32s(vs []int32) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.u32(uint32(v))
+	}
+}
+
+func (w *wireBuf) f64s(vs []float64) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.u64(math.Float64bits(v))
+	}
+}
+
+// seal appends the CRC and fires the shard.encode fault site with the
+// finished frame (hooks may corrupt it to exercise decoder checks, or
+// abort the call).
+func (w *wireBuf) seal() ([]byte, error) {
+	w.u32(crc32.ChecksumIEEE(w.b))
+	if err := faultinject.Fire(faultinject.SiteShardEncode, w.b); err != nil {
+		return nil, err
+	}
+	return w.b, nil
+}
+
+func newFrame(kind uint8) *wireBuf {
+	w := &wireBuf{b: make([]byte, 0, 64)}
+	w.b = append(w.b, wireMagic...)
+	w.u16(wireVersion)
+	w.u8(kind)
+	w.u8(0)
+	return w
+}
+
+// wireReader is the matching bounds-checked reader: every accessor
+// records the first failure and returns zero afterwards, so decode paths
+// read linearly and check err once.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("shard: decode: "+format, args...)
+	}
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail("truncated frame (%d bytes, need %d more at offset %d)", len(r.b), n, r.off)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *wireReader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *wireReader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+// length reads a collection length and sanity-bounds it by the remaining
+// frame bytes (elemSize each), so a corrupt length cannot drive a huge
+// allocation before the CRC check would have caught it.
+func (r *wireReader) length(elemSize int) int {
+	n := r.u64()
+	if r.err == nil && n > uint64(len(r.b)-r.off)/uint64(elemSize) {
+		r.fail("length %d exceeds frame", n)
+	}
+	if r.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (r *wireReader) i32s() []int32 {
+	n := r.length(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.u32())
+	}
+	return out
+}
+
+func (r *wireReader) f64s() []float64 {
+	n := r.length(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(r.u64())
+	}
+	return out
+}
+
+// openFrame validates magic, version, kind, and CRC, returning a reader
+// positioned at the payload.
+func openFrame(frame []byte, wantKind uint8) (*wireReader, error) {
+	if len(frame) < headerLen+4 {
+		return nil, fmt.Errorf("shard: decode: frame too short (%d bytes)", len(frame))
+	}
+	if string(frame[:4]) != wireMagic {
+		return nil, fmt.Errorf("shard: decode: bad magic %q", frame[:4])
+	}
+	if v := binary.LittleEndian.Uint16(frame[4:6]); v != wireVersion {
+		return nil, fmt.Errorf("shard: decode: unsupported wire version %d (want %d)", v, wireVersion)
+	}
+	body, tail := frame[:len(frame)-4], frame[len(frame)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("shard: decode: CRC mismatch (frame %08x, computed %08x)", want, got)
+	}
+	if k := frame[6]; k != wantKind {
+		return nil, fmt.Errorf("shard: decode: frame kind %d, want %d", k, wantKind)
+	}
+	return &wireReader{b: body, off: headerLen}, nil
+}
+
+// EncodePartial serializes one shard's Y partial and fires the
+// shard.encode fault site with the sealed frame.
+func EncodePartial(p *kernels.Partial) ([]byte, error) {
+	w := newFrame(kindYPartial)
+	w.u32(uint32(p.Shard))
+	w.u32(uint32(p.LeafLo))
+	w.u32(uint32(p.LeafHi))
+	w.u32(uint32(p.RowLo))
+	w.u32(uint32(p.RowHi))
+	w.u32(uint32(p.Cols))
+	w.f64s(p.Direct)
+	w.u64(uint64(len(p.Spills)))
+	for _, ls := range p.Spills {
+		w.u32(uint32(ls.Leaf))
+		w.i32s(ls.Rows)
+		w.f64s(ls.Data)
+	}
+	return w.seal()
+}
+
+// DecodePartial parses an EncodePartial frame, verifying structure and
+// internal consistency (block and spill shapes against Cols).
+func DecodePartial(frame []byte) (*kernels.Partial, error) {
+	r, err := openFrame(frame, kindYPartial)
+	if err != nil {
+		return nil, err
+	}
+	p := &kernels.Partial{
+		Shard:  int(r.u32()),
+		LeafLo: int(r.u32()),
+		LeafHi: int(r.u32()),
+		RowLo:  int(r.u32()),
+		RowHi:  int(r.u32()),
+		Cols:   int(r.u32()),
+	}
+	p.Direct = r.f64s()
+	nspills := r.length(1)
+	for i := 0; i < nspills && r.err == nil; i++ {
+		ls := kernels.LeafSpill{Leaf: int(r.u32())}
+		ls.Rows = r.i32s()
+		ls.Data = r.f64s()
+		p.Spills = append(p.Spills, ls)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if p.Cols < 0 || p.RowHi < p.RowLo || len(p.Direct) != (p.RowHi-p.RowLo)*p.Cols {
+		return nil, fmt.Errorf("shard: decode: direct block %d floats for rows [%d,%d) x %d cols",
+			len(p.Direct), p.RowLo, p.RowHi, p.Cols)
+	}
+	for _, ls := range p.Spills {
+		if p.Cols == 0 || len(ls.Data) != len(ls.Rows)*p.Cols {
+			return nil, fmt.Errorf("shard: decode: leaf %d spill %d floats for %d rows x %d cols",
+				ls.Leaf, len(ls.Data), len(ls.Rows), p.Cols)
+		}
+	}
+	return p, nil
+}
+
+// gramBand is one shard's contiguous output-row band of a sharded matrix
+// product — the Gram-side payload of the wire format.
+type gramBand struct {
+	shard        int
+	rowLo, rowHi int
+	cols         int
+	data         []float64
+}
+
+// encodeGramBand serializes one output-row band and fires shard.encode.
+func encodeGramBand(b gramBand) ([]byte, error) {
+	w := newFrame(kindGramBand)
+	w.u32(uint32(b.shard))
+	w.u32(uint32(b.rowLo))
+	w.u32(uint32(b.rowHi))
+	w.u32(uint32(b.cols))
+	w.f64s(b.data)
+	return w.seal()
+}
+
+// decodeGramBand parses an encodeGramBand frame.
+func decodeGramBand(frame []byte) (gramBand, error) {
+	r, err := openFrame(frame, kindGramBand)
+	if err != nil {
+		return gramBand{}, err
+	}
+	b := gramBand{
+		shard: int(r.u32()),
+		rowLo: int(r.u32()),
+		rowHi: int(r.u32()),
+		cols:  int(r.u32()),
+	}
+	b.data = r.f64s()
+	if r.err != nil {
+		return gramBand{}, r.err
+	}
+	if b.cols < 0 || b.rowHi < b.rowLo || len(b.data) != (b.rowHi-b.rowLo)*b.cols {
+		return gramBand{}, fmt.Errorf("shard: decode: gram band %d floats for rows [%d,%d) x %d cols",
+			len(b.data), b.rowLo, b.rowHi, b.cols)
+	}
+	return b, nil
+}

@@ -32,9 +32,20 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 	var pool kernels.WorkspacePool
 	epool, closePool := opts.execPool()
 	defer closePool()
+	eng, closeEng := opts.shardEngines()
+	defer closeEng()
 	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
 		PlanCache: &cache, Pool: &pool, Exec: epool}
+	if eng != nil {
+		kopts.Backend = eng
+	}
 	rs := newRun("hooi-randomized", x, &opts, res, &kopts)
+	mulTN := func(a, b *linalg.Matrix) (*linalg.Matrix, error) {
+		if kopts.Backend != nil {
+			return eng.MulTN(a, b, kopts)
+		}
+		return linalg.MulTN(a, b), nil
+	}
 
 	t0 := time.Now()
 	u, startIt, err := rs.start(func() (*linalg.Matrix, error) { return initFactor(x, &opts) })
@@ -100,7 +111,11 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.Phases.SVD += time.Since(t)
 
 		t = time.Now()
-		res.CoreP = linalg.MulTN(u, yp)
+		cp, err := mulTN(u, yp)
+		if err != nil {
+			return nil, rs.wrapKernelErr(u, err)
+		}
+		res.CoreP = cp
 		coreNorm2 := weightedNorm2(res.CoreP, p)
 		recordObjective(res, res.NormX2, coreNorm2)
 		rs.observeObjective(it)
@@ -125,7 +140,9 @@ func HOOIRandomized(x *spsym.Tensor, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, rs.wrapKernelErr(u, err)
 		}
-		res.CoreP = linalg.MulTN(u, yp)
+		if res.CoreP, err = mulTN(u, yp); err != nil {
+			return nil, rs.wrapKernelErr(u, err)
+		}
 	}
 	rs.finish()
 	res.U = u

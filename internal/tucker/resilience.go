@@ -96,7 +96,10 @@ type Health struct {
 // bit-identically: the tensor's shape and contents, the algorithm, and
 // every option that affects the arithmetic (rank, effective worker count,
 // scheduling, seed). MaxIters and Tol are deliberately excluded so a
-// resumed run may extend or tighten the stopping rule.
+// resumed run may extend or tighten the stopping rule. Shards is excluded
+// too: the sharded backend is bitwise identical to single-engine execution
+// for every shard count (internal/shard), so a snapshot may be resumed
+// under any shard count without breaking trace bit-identity.
 func Fingerprint(algo string, x *spsym.Tensor, opts *Options) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -331,16 +334,19 @@ func (rs *runState) wrapKernelErr(u *linalg.Matrix, err error) error {
 }
 
 // degrade is the one-shot budget-rejection recovery: one worker (shrinking
-// the per-worker lattice workspaces N-fold) and striped-lock accumulation
-// (dropping the owner-computes spill buffers entirely). Sticky for the rest
-// of the run; note the reduction order — and hence the trace — follows the
-// degraded worker count from here on.
+// the per-worker lattice workspaces N-fold), striped-lock accumulation
+// (dropping the owner-computes spill buffers entirely), and single-engine
+// execution (the sharded backend charges an extra Y of partial staging, so
+// it is uninstalled along with everything else memory-hungry). Sticky for
+// the rest of the run; note the reduction order — and hence the trace —
+// follows the degraded worker count from here on.
 func (rs *runState) degrade(why error) {
 	rs.degraded = true
 	rs.kopts.Workers = 1
 	rs.kopts.Scheduling = kernels.SchedStripedLocks
+	rs.kopts.Backend = nil
 	rs.res.Health.BudgetRetries++
-	rs.event("budget retry: %v; degraded to workers=1, striped locks", why)
+	rs.event("budget retry: %v; degraded to workers=1, striped locks, single engine", why)
 }
 
 // runTTMc executes one kernel call under the budget policy: a guard

@@ -1,0 +1,123 @@
+package tucker
+
+// Driver-level sharding tests: Options.Shards must not change a single
+// output bit (the kernel-level matrix lives in internal/shard; these
+// cover the tucker wiring — backend install, sharded Gram-side products,
+// and checkpoint fingerprints that ignore the shard count).
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/symprop/symprop/internal/checkpoint"
+	"github.com/symprop/symprop/internal/linalg"
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// shardableDrivers enumerates every driver that honors Options.Shards
+// (all but HOQRINary, whose n-ary kernel predates the Backend seam).
+func shardableDrivers() []struct {
+	name string
+	run  func(*spsym.Tensor, Options) (*Result, error)
+} {
+	return []struct {
+		name string
+		run  func(*spsym.Tensor, Options) (*Result, error)
+	}{
+		{"hooi", HOOI},
+		{"hoqri", HOQRI},
+		{"hooi-randomized", HOOIRandomized},
+		{"hooi-css", HOOICSS},
+	}
+}
+
+func mustEqualMatrixBits(t *testing.T, what string, got, want *linalg.Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s shape %dx%d, want %dx%d", what, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s diverges at entry %d: %x vs %x",
+				what, i, math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+// TestShardedDriversBitIdentical runs every shardable driver under several
+// shard counts and demands the factor, core, and objective trace match the
+// single-engine run bit for bit.
+func TestShardedDriversBitIdentical(t *testing.T) {
+	x := testTensor(t, 3, 12, 60, 21)
+	base := Options{Rank: 3, MaxIters: 5, Seed: 7, Workers: 3}
+	for _, d := range shardableDrivers() {
+		t.Run(d.name, func(t *testing.T) {
+			ref, err := d.run(x, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4, 8} {
+				opts := base
+				opts.Shards = shards
+				got, err := d.run(x, opts)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				for i := range ref.Objective {
+					if math.Float64bits(got.Objective[i]) != math.Float64bits(ref.Objective[i]) {
+						t.Fatalf("shards=%d: objective diverges at iteration %d", shards, i)
+					}
+				}
+				mustEqualMatrixBits(t, "U", got.U, ref.U)
+				mustEqualMatrixBits(t, "CoreP", got.CoreP, ref.CoreP)
+			}
+		})
+	}
+}
+
+// TestShardedResumeAcrossShardCounts checkpoints a sharded run and resumes
+// it under different shard counts: the fingerprint deliberately excludes
+// Shards (sharding is bitwise invisible), so every combination must
+// reproduce the straight unsharded run's trace and factor exactly.
+func TestShardedResumeAcrossShardCounts(t *testing.T) {
+	const n = 6
+	x := testTensor(t, 3, 12, 60, 22)
+	base := Options{Rank: 3, MaxIters: n, Seed: 8, Workers: 2}
+	straight, err := HOQRI(x, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "sharded.ckpt")
+	prefix := base
+	prefix.MaxIters = 3
+	prefix.Shards = 4
+	prefix.CheckpointPath = ckpt
+	prefix.CheckpointEvery = 1
+	if _, err := HOQRI(x, prefix); err != nil {
+		t.Fatal(err)
+	}
+	state, err := checkpoint.Load(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 2} {
+		opts := base
+		opts.Shards = shards
+		opts.Resume = state
+		resumed, err := HOQRI(x, opts)
+		if err != nil {
+			t.Fatalf("resume with shards=%d: %v", shards, err)
+		}
+		if len(resumed.RelError) != len(straight.RelError) {
+			t.Fatalf("shards=%d: resumed trace has %d entries, straight %d",
+				shards, len(resumed.RelError), len(straight.RelError))
+		}
+		for i := range straight.RelError {
+			if math.Float64bits(resumed.RelError[i]) != math.Float64bits(straight.RelError[i]) {
+				t.Fatalf("shards=%d: trace diverges at iteration %d", shards, i)
+			}
+		}
+		mustEqualMatrixBits(t, "U", resumed.U, straight.U)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"github.com/symprop/symprop/internal/linalg"
 	"github.com/symprop/symprop/internal/memguard"
 	"github.com/symprop/symprop/internal/obs"
+	"github.com/symprop/symprop/internal/shard"
 	"github.com/symprop/symprop/internal/spsym"
 )
 
@@ -65,6 +66,15 @@ type Options struct {
 	Guard *memguard.Guard
 	// Workers is the kernel goroutine count; 0 means GOMAXPROCS.
 	Workers int
+	// Shards, when > 1, runs every S³TTMc call — and the Gram-side products
+	// consuming its output — on that many isolated shard engines
+	// (internal/shard) behind the kernels.Backend seam, each engine with its
+	// own worker pool and caches. The sharded result is bitwise identical to
+	// the single-engine path for every shard count, so Shards — unlike
+	// Workers — does not enter the checkpoint fingerprint: a snapshot may be
+	// resumed under any shard count. HOQRINary's n-ary kernel predates the
+	// Backend seam and ignores Shards. See docs/SHARDING.md.
+	Shards int
 	// Scheduling selects the kernel accumulation strategy (owner-computes
 	// vs striped locks); the zero value picks automatically. See
 	// kernels.Scheduling and DESIGN.md §6.
@@ -127,6 +137,18 @@ func (o *Options) execPool() (*exec.Pool, func()) {
 	}
 	p := exec.NewPool(workers)
 	return p, p.Close
+}
+
+// shardEngines returns the run's sharded backend (nil when Shards <= 1,
+// the single-engine path) and its cleanup. The driver installs the result
+// into kernels.Options.Backend; degrade() uninstalls it, so every sharded
+// consumer must check Backend, not the engine handle.
+func (o *Options) shardEngines() (*shard.Engines, func()) {
+	if o.Shards <= 1 {
+		return nil, func() {}
+	}
+	e := shard.New(o.Shards, o.Workers)
+	return e, e.Close
 }
 
 func (o *Options) normalize(x *spsym.Tensor) error {
@@ -270,12 +292,25 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 	var scheds kernels.ScheduleCache
 	epool, closePool := opts.execPool()
 	defer closePool()
+	eng, closeEng := opts.shardEngines()
+	defer closeEng()
 	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
 		Scheduling: opts.Scheduling, PlanCache: &cache, Pool: &pool, Schedules: &scheds,
 		Exec: epool}
+	if eng != nil {
+		kopts.Backend = eng
+	}
 	rs := newRun("hooi", x, &opts, res, &kopts)
 	ttmc := func(f *linalg.Matrix) (*linalg.Matrix, error) {
 		return kernels.S3TTMcSymProp(x, f, kopts)
+	}
+	// Sharded Gram-side products when the backend is installed; degrade()
+	// clears kopts.Backend, falling back to the serial linalg call.
+	mulTN := func(a, b *linalg.Matrix) (*linalg.Matrix, error) {
+		if kopts.Backend != nil {
+			return eng.MulTN(a, b, kopts)
+		}
+		return linalg.MulTN(a, b), nil
 	}
 
 	t0 := time.Now()
@@ -302,7 +337,7 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.Phases.TTMc += time.Since(t)
 
 		t = time.Now()
-		uNew, err := leadingLeftSingular(yp, x.Order, r, opts.Guard)
+		uNew, err := leadingLeftSingular(yp, x.Order, r, opts.Guard, mulTN)
 		if err != nil {
 			// No degradation retry here: the dominant reservation is the
 			// full I x R^{N-1} unfolding, which no worker count shrinks.
@@ -314,7 +349,11 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.Phases.SVD += time.Since(t)
 
 		t = time.Now()
-		res.CoreP = linalg.MulTN(u, yp) // C_p(1) = Uᵀ·Y_p(1)
+		cp, err := mulTN(u, yp) // C_p(1) = Uᵀ·Y_p(1)
+		if err != nil {
+			return nil, rs.wrapKernelErr(u, err)
+		}
+		res.CoreP = cp
 		coreNorm2 := weightedNorm2(res.CoreP, p)
 		recordObjective(res, res.NormX2, coreNorm2)
 		rs.observeObjective(it)
@@ -340,7 +379,9 @@ func HOOI(x *spsym.Tensor, opts Options) (*Result, error) {
 			return nil, err
 		}
 		u = uUsed
-		res.CoreP = linalg.MulTN(u, yp)
+		if res.CoreP, err = mulTN(u, yp); err != nil {
+			return nil, rs.wrapKernelErr(u, err)
+		}
 	}
 	rs.finish()
 	res.U = u
@@ -362,12 +403,29 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 	var scheds kernels.ScheduleCache
 	epool, closePool := opts.execPool()
 	defer closePool()
+	eng, closeEng := opts.shardEngines()
+	defer closeEng()
 	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
 		Scheduling: opts.Scheduling, PlanCache: &cache, Pool: &pool, Schedules: &scheds,
 		Exec: epool}
+	if eng != nil {
+		kopts.Backend = eng
+	}
 	rs := newRun("hoqri", x, &opts, res, &kopts)
 	ttmc := func(f *linalg.Matrix) (*linalg.Matrix, error) {
 		return kernels.S3TTMcSymProp(x, f, kopts)
+	}
+	mulTN := func(a, b *linalg.Matrix) (*linalg.Matrix, error) {
+		if kopts.Backend != nil {
+			return eng.MulTN(a, b, kopts)
+		}
+		return linalg.MulTN(a, b), nil
+	}
+	mulNTWeighted := func(a, b *linalg.Matrix, w []float64) (*linalg.Matrix, error) {
+		if kopts.Backend != nil {
+			return eng.MulNTWeighted(a, b, w, kopts)
+		}
+		return linalg.MulNTWeighted(a, b, w), nil
 	}
 
 	t0 := time.Now()
@@ -399,7 +457,10 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 
 		// Times-core, first half: C_p = Uᵀ·Y_p (Algorithm 2).
 		t = time.Now()
-		cp := linalg.MulTN(u, yp)
+		cp, err := mulTN(u, yp)
+		if err != nil {
+			return nil, rs.wrapKernelErr(u, err)
+		}
 		res.Phases.TC += time.Since(t)
 
 		t = time.Now()
@@ -428,7 +489,10 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 
 		// Times-core, second half: A = Y_p·diag(p)·C_pᵀ, then QR.
 		t = time.Now()
-		a := linalg.MulNTWeighted(yp, cp, p)
+		a, err := mulNTWeighted(yp, cp, p)
+		if err != nil {
+			return nil, rs.wrapKernelErr(u, err)
+		}
 		res.Phases.TC += time.Since(t)
 
 		t = time.Now()
@@ -454,7 +518,9 @@ func HOQRI(x *spsym.Tensor, opts Options) (*Result, error) {
 			return nil, err
 		}
 		u = uUsed
-		res.CoreP = linalg.MulTN(u, yp)
+		if res.CoreP, err = mulTN(u, yp); err != nil {
+			return nil, rs.wrapKernelErr(u, err)
+		}
 		res.Phases.Core += time.Since(t)
 	}
 	rs.finish()
@@ -477,8 +543,12 @@ func weightedNorm2(m *linalg.Matrix, w []float64) float64 {
 // full unfolding Y(1), expanded from its compact form. The Gram matrix is
 // taken on the smaller side, giving LAPACK's
 // O(I·R^{N-1}·min(I, R^{N-1})) complexity and the full I x R^{N-1}
-// memory footprint of the paper's HOOI.
-func leadingLeftSingular(yp *linalg.Matrix, order, r int, guard *memguard.Guard) (*linalg.Matrix, error) {
+// memory footprint of the paper's HOOI. mulTN is the driver's (possibly
+// sharded) Aᵀ·B product; the rows <= cols branch computes an I x I Gram
+// with MulNT, which has no banded form and stays single-engine — the
+// serial call is bitwise what the sharded one would produce anyway.
+func leadingLeftSingular(yp *linalg.Matrix, order, r int, guard *memguard.Guard,
+	mulTN func(a, b *linalg.Matrix) (*linalg.Matrix, error)) (*linalg.Matrix, error) {
 	rows := int64(yp.Rows)
 	cols := dense.Pow64(int64(r), order-1)
 	fullBytes := memguard.Float64Bytes(rows * cols)
@@ -503,7 +573,10 @@ func leadingLeftSingular(yp *linalg.Matrix, order, r int, guard *memguard.Guard)
 		return linalg.TopEigenvectors(g, r)
 	}
 	// Column-side Gram: eig gives right singular vectors; map back through Y.
-	g := linalg.MulTN(yFull, yFull) // cols x cols
+	g, err := mulTN(yFull, yFull) // cols x cols
+	if err != nil {
+		return nil, err
+	}
 	values, vectors, err := linalg.SymEig(g)
 	if err != nil {
 		return nil, err

@@ -29,9 +29,20 @@ func HOOICSS(x *spsym.Tensor, opts Options) (*Result, error) {
 	var scheds kernels.ScheduleCache
 	epool, closePool := opts.execPool()
 	defer closePool()
+	eng, closeEng := opts.shardEngines()
+	defer closeEng()
 	kopts := kernels.Options{Ctx: opts.Ctx, Guard: opts.Guard, Workers: opts.Workers,
 		Scheduling: opts.Scheduling, Schedules: &scheds, Exec: epool}
+	if eng != nil {
+		kopts.Backend = eng
+	}
 	rs := newRun("hooi-css", x, &opts, res, &kopts)
+	mulTN := func(a, b *linalg.Matrix) (*linalg.Matrix, error) {
+		if kopts.Backend != nil {
+			return eng.MulTN(a, b, kopts)
+		}
+		return linalg.MulTN(a, b), nil
+	}
 
 	t0 := time.Now()
 	u, err := initFactor(x, &opts)
@@ -56,14 +67,17 @@ func HOOICSS(x *spsym.Tensor, opts Options) (*Result, error) {
 		res.Phases.TTMc += time.Since(t)
 
 		t = time.Now()
-		u, err = svdOfFull(yFull, r, opts.Guard)
+		u, err = svdOfFull(yFull, r, opts.Guard, mulTN)
 		if err != nil {
 			return nil, rs.wrapKernelErr(u, err)
 		}
 		res.Phases.SVD += time.Since(t)
 
 		t = time.Now()
-		cFull := linalg.MulTN(u, yFull)
+		cFull, err := mulTN(u, yFull)
+		if err != nil {
+			return nil, rs.wrapKernelErr(u, err)
+		}
 		var coreNorm2 float64
 		for _, v := range cFull.Data {
 			coreNorm2 += v * v
@@ -90,8 +104,10 @@ func HOOICSS(x *spsym.Tensor, opts Options) (*Result, error) {
 }
 
 // svdOfFull returns the leading left singular vectors of an already full
-// unfolding, Gram-side-selected like leadingLeftSingular.
-func svdOfFull(yFull *linalg.Matrix, r int, guard *memguard.Guard) (*linalg.Matrix, error) {
+// unfolding, Gram-side-selected like leadingLeftSingular; mulTN is the
+// driver's (possibly sharded) Aᵀ·B product.
+func svdOfFull(yFull *linalg.Matrix, r int, guard *memguard.Guard,
+	mulTN func(a, b *linalg.Matrix) (*linalg.Matrix, error)) (*linalg.Matrix, error) {
 	rows, cols := int64(yFull.Rows), int64(yFull.Cols)
 	small := rows
 	if cols < small {
@@ -105,7 +121,10 @@ func svdOfFull(yFull *linalg.Matrix, r int, guard *memguard.Guard) (*linalg.Matr
 		g := linalg.MulNT(yFull, yFull)
 		return linalg.TopEigenvectors(g, r)
 	}
-	g := linalg.MulTN(yFull, yFull)
+	g, err := mulTN(yFull, yFull)
+	if err != nil {
+		return nil, err
+	}
 	values, vectors, err := linalg.SymEig(g)
 	if err != nil {
 		return nil, err

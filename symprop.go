@@ -171,6 +171,11 @@ type Options struct {
 	MemoryBudget int64
 	// Workers is the kernel parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Shards, when > 1, runs the S³TTMc kernel and the Gram-side products
+	// on that many isolated shard engines (internal/shard), each with its
+	// own worker pool and caches. The result is bitwise identical to the
+	// single-engine run for every shard count; see docs/SHARDING.md.
+	Shards int
 	// Ctx, when non-nil, cancels the run cooperatively; see
 	// tucker.Options.Ctx. A canceled run returns a *CanceledError.
 	Ctx context.Context
@@ -220,6 +225,7 @@ func (o Options) tuckerOptions() tucker.Options {
 		U0:              o.U0,
 		Guard:           o.guard(),
 		Workers:         o.Workers,
+		Shards:          o.Shards,
 		Ctx:             o.Ctx,
 		CheckpointPath:  o.CheckpointPath,
 		CheckpointEvery: o.CheckpointEvery,

@@ -35,6 +35,7 @@ import (
 // registration — exactly the drift this tool exists to catch.
 var registeredPlanPrefixes = []string{
 	"s3ttmc.", "ucoo.", "nary.", "splatt.ttmc", "ttmctc.", "schedule.reduce",
+	"shard.", // the shard map's fan-out/merge/Gram plans (internal/shard)
 }
 
 func main() {
