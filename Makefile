@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke obs-smoke serve-smoke shard-smoke bench bench-json bench-guard verify examples reproduce generate clean
+.PHONY: all build test test-race vet lint fuzz-smoke fault-matrix resume-smoke obs-smoke serve-smoke shard-smoke load-smoke bench bench-json bench-guard verify examples reproduce generate clean
 
 all: build vet lint test
 
@@ -70,6 +70,14 @@ serve-smoke:
 # and the shard package's determinism matrix runs under -race.
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# End-to-end load-generation smoke test: ~5s of open-loop traffic from
+# symprop-load against a real symprop-serve, asserting non-zero
+# completions, a well-formed BENCH_*.json latency section and /metrics
+# document (obscheck), benchguard compatibility with pre-latency
+# snapshots, and a rendered percentile-over-time figure (docs/LOADGEN.md).
+load-smoke:
+	./scripts/load_smoke.sh
 
 # testing.B benchmarks (one family per paper table/figure).
 bench:

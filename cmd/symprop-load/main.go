@@ -1,0 +1,272 @@
+// Command symprop-load drives traffic-shaped load against a symprop-serve
+// instance and reports latency percentiles, throughput, and per-plan
+// attribution (docs/LOADGEN.md) — the measurement ROADMAP item 5 asks for:
+// how the serving path behaves under concurrent mixed-size traffic, not
+// just isolated ns/op.
+//
+// Usage:
+//
+//	symprop-load -server URL [flags]         # drive an already-running server
+//	symprop-load -spawn [-runners N] [flags] # spawn an in-process server first
+//
+// Flags:
+//
+//	-rate R -duration D -seed S -mix smoke|default -tenant T
+//	-max-inflight N -retry-budget N -window D
+//	-name NAME            run name recorded in the snapshot (default <mix>@<rate>rps)
+//	-bench-out FILE       merge the run into this BENCH_*.json snapshot
+//	-svgdir DIR           render the percentile-over-time figure here
+//	-metrics-out FILE     dump the post-run /metrics document (obscheck input)
+//	-min-completed N      exit 1 unless at least N jobs completed (smoke gate)
+//
+// The generator is open-loop: arrivals follow the seeded schedule
+// regardless of completions, 429/503 backpressure is honored per request
+// (Retry-After), and overload beyond -max-inflight is shed and counted
+// rather than queued client-side.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/symprop/symprop/internal/bench"
+	"github.com/symprop/symprop/internal/jobs"
+	"github.com/symprop/symprop/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "symprop-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("symprop-load", flag.ExitOnError)
+	server := fs.String("server", "", "target server base URL (mutually exclusive with -spawn)")
+	spawn := fs.Bool("spawn", false, "spawn an in-process symprop-serve on an ephemeral port")
+	runners := fs.Int("runners", 2, "runner goroutines for the spawned server")
+	jobWorkers := fs.Int("job-workers", 2, "kernel workers per job on the spawned server")
+	spool := fs.String("spool", "", "spool dir for the spawned server (default: a temp dir, removed on exit)")
+	rate := fs.Float64("rate", 10, "offered arrival rate, jobs/second")
+	duration := fs.Duration("duration", 5*time.Second, "scheduled submission window")
+	seed := fs.Int64("seed", 1, "schedule seed: same seed, mix, and rate produce the identical schedule")
+	mixName := fs.String("mix", "smoke", "job-shape mix: smoke or default")
+	tenant := fs.String("tenant", "", "tenant all jobs are submitted under")
+	maxInFlight := fs.Int("max-inflight", loadgen.DefaultMaxInFlight, "cap on concurrent outstanding jobs; excess arrivals are shed")
+	retryBudget := fs.Int("retry-budget", loadgen.DefaultRetryBudget, "429/503 resubmissions per arrival before it counts as saturated")
+	window := fs.Duration("window", loadgen.DefaultWindow, "percentile-over-time window width")
+	name := fs.String("name", "", "run name recorded in the snapshot (default <mix>@<rate>rps)")
+	benchOut := fs.String("bench-out", "", "merge the run's latency section into this BENCH_*.json (created if missing)")
+	svgDir := fs.String("svgdir", "", "render the percentile-over-time SVG into this directory")
+	metricsOut := fs.String("metrics-out", "", "write the post-run /metrics document here (tools/obscheck -serve-metrics input)")
+	minCompleted := fs.Int64("min-completed", 0, "fail unless at least this many jobs completed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*server == "") == !*spawn {
+		return fmt.Errorf("exactly one of -server and -spawn is required")
+	}
+
+	mix, err := loadgen.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	runName := *name
+	if runName == "" {
+		runName = fmt.Sprintf("%s@%grps", *mixName, *rate)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := strings.TrimRight(*server, "/")
+	var shutdown func() error
+	if *spawn {
+		base, shutdown, err = spawnServer(*spool, *runners, *jobWorkers)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := shutdown(); err != nil {
+				fmt.Fprintln(os.Stderr, "symprop-load: shutdown:", err)
+			}
+		}()
+	}
+
+	opts := loadgen.Options{
+		BaseURL:     base,
+		Mix:         mix,
+		Rate:        *rate,
+		Duration:    *duration,
+		Seed:        *seed,
+		MaxInFlight: *maxInFlight,
+		RetryBudget: *retryBudget,
+		Window:      *window,
+		Tenant:      *tenant,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "symprop-load: "+format+"\n", a...)
+		},
+	}
+	res, err := loadgen.Run(ctx, opts)
+	if err != nil {
+		return err
+	}
+	lrun := loadgen.ToLatencyRun(runName, opts, res)
+	loadgen.WriteReport(os.Stdout, lrun, res)
+
+	if *svgDir != "" {
+		path, err := loadgen.SavePercentileSVG(*svgDir, lrun)
+		if err != nil {
+			return err
+		}
+		if path != "" {
+			fmt.Fprintln(os.Stderr, "symprop-load: wrote", path)
+		}
+	}
+	if *benchOut != "" {
+		if err := mergeSnapshot(*benchOut, lrun); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "symprop-load: merged latency section into", *benchOut)
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(ctx, *metricsOut, base); err != nil {
+			return err
+		}
+	}
+	if res.Completed < *minCompleted {
+		return fmt.Errorf("completed %d jobs, want >= %d", res.Completed, *minCompleted)
+	}
+	return nil
+}
+
+// spawnServer starts an in-process jobs server on an ephemeral port and
+// returns its base URL plus a shutdown function that drains it.
+func spawnServer(spool string, runners, jobWorkers int) (string, func() error, error) {
+	cleanup := func() {}
+	if spool == "" {
+		dir, err := os.MkdirTemp("", "symprop-load-spool-")
+		if err != nil {
+			return "", nil, err
+		}
+		spool = dir
+		cleanup = func() { os.RemoveAll(dir) }
+	}
+	m, err := jobs.Open(jobs.Config{
+		SpoolDir:   spool,
+		Runners:    runners,
+		JobWorkers: jobWorkers,
+		// The load generator measures serving latency, not host memory
+		// limits; the spawned server runs unguarded.
+		MemoryBudget: -1,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "symprop-load: serve: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		m.Close()
+		cleanup()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: jobs.NewServer(m)}
+	go srv.Serve(ln) //nolint:errcheck // closed via srv.Close below
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintln(os.Stderr, "symprop-load: spawned server at", base)
+	shutdown := func() error {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		err := m.Drain(drainCtx)
+		srv.Close()
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
+		cleanup()
+		return err
+	}
+	return base, shutdown, nil
+}
+
+// mergeSnapshot folds the run into the snapshot file: an existing file
+// keeps its ns/op sections and gains (or updates) the latency run by
+// name; a missing file becomes a minimal latency-only snapshot.
+func mergeSnapshot(path string, run bench.LatencyRun) error {
+	var snap bench.Snapshot
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("bench-out %s: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		snap = bench.Snapshot{
+			Date:      time.Now().UTC().Format("2006-01-02"),
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+			Command:   "symprop-load",
+		}
+	default:
+		return err
+	}
+	if snap.Latency == nil {
+		snap.Latency = &bench.LatencySection{Source: "symprop-load"}
+	}
+	replaced := false
+	for i, r := range snap.Latency.Runs {
+		if r.Name == run.Name {
+			snap.Latency.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		snap.Latency.Runs = append(snap.Latency.Runs, run)
+	}
+	buf, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// writeMetrics dumps the server's final /metrics document for obscheck.
+func writeMetrics(ctx context.Context, path, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.ReadFrom(resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,126 @@
+package bench
+
+// The BENCH_<date>.json snapshot schema, shared by the three tools that
+// read or write it: tools/benchjson (writes ns/op sections from `go test
+// -bench` runs), cmd/symprop-load (writes the latency section from a
+// traffic-shaped run against a live symprop-serve), and tools/benchguard
+// (gates regressions between the two newest committed snapshots). Keeping
+// the schema in one importable package is what lets the guard grow new
+// gated sections without the three re-declared copies drifting apart.
+//
+// Compatibility contract: every field added after the first committed
+// snapshot is `omitempty` (or a pointer), so PR-2-era files — plain
+// ns/op snapshots with no latency section — keep loading forever.
+// tools/benchjson's round-trip test pins this.
+
+// Benchmark is one parsed `BenchmarkX-N  iters  ns/op ...` result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric columns keyed by unit — e.g. the
+	// per-plan engine counters the scheduling benchmarks emit
+	// ("s3ttmc.owner-busy-ns/op", "s3ttmc.owner-imbalance").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is the schema of a BENCH_<date>.json file.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	Command    string      `json:"command"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw is the unmodified benchmark output, benchstat-compatible.
+	Raw string `json:"raw"`
+	// Latency is the traffic-shaped load-generation section
+	// (cmd/symprop-load, docs/LOADGEN.md): per-run latency percentiles,
+	// throughput, and per-plan attribution under concurrent mixed-size
+	// traffic. Nil on snapshots that predate it or that only carry ns/op
+	// results; tools/benchguard gates p95/p99 between snapshots that both
+	// carry it.
+	Latency *LatencySection `json:"latency,omitempty"`
+}
+
+// LatencySection groups the load-generation runs of one snapshot.
+type LatencySection struct {
+	// Source names the producing tool ("symprop-load").
+	Source string `json:"source"`
+	// Runs are keyed by LatencyRun.Name for cross-snapshot comparison.
+	Runs []LatencyRun `json:"runs"`
+}
+
+// LatencyRun is one open-loop load-generation run: a seeded mix of job
+// shapes submitted at a target arrival rate against a live server. All
+// latencies are full job latencies — scheduled arrival to observed
+// terminal state — so queueing, admission backoff, and retry delays are
+// charged to the request (no coordinated omission).
+type LatencyRun struct {
+	// Name identifies the run configuration across snapshots, e.g.
+	// "smoke@20rps". The guard compares runs by name.
+	Name string `json:"name"`
+	// Seed is the schedule seed: same seed, same mix, same rate → the
+	// identical submission schedule (shapes and arrival offsets).
+	Seed int64 `json:"seed"`
+	// OfferedRPS is the scheduled arrival rate; AchievedRPS is completed
+	// jobs over the full wall clock including the drain of in-flight work.
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// DurationSec is the scheduled submission window (the drain tail is
+	// excluded; AchievedRPS accounts for it).
+	DurationSec float64 `json:"duration_sec"`
+	// Scheduled counts planned arrivals; Shed counts arrivals dropped at
+	// the in-flight cap (open-loop overload protection); Submitted is
+	// Scheduled − Shed. Completed succeeded, Failed reached any other
+	// terminal state or exhausted submission retries.
+	Scheduled int64 `json:"scheduled"`
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed,omitempty"`
+	Shed      int64 `json:"shed,omitempty"`
+	// Retries counts 429/503-triggered resubmissions (the client honored
+	// Retry-After); Saturated counts requests that exhausted their retry
+	// budget against a saturated server.
+	Retries   int64 `json:"retries,omitempty"`
+	Saturated int64 `json:"saturated,omitempty"`
+	// Latency percentiles over completed jobs, in milliseconds. The
+	// histogram is log-bucketed: values carry ≤ ~3.2% relative error
+	// (internal/loadgen).
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// Counters are the server's control-plane counter deltas over the run
+	// (jobs.submitted, jobs.retries, ...), scraped from /metrics.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Plans attribute the run's kernel busy time per exec plan, from the
+	// /metrics before/after diff.
+	Plans []LatencyPlan `json:"plans,omitempty"`
+	// Windows carry the percentile-over-time series (one fixed-width
+	// window each) behind the docs/figures plots.
+	Windows []LatencyWindow `json:"windows,omitempty"`
+}
+
+// LatencyPlan is one plan's share of the run: busy-ns delta and the
+// load-imbalance ratio over the interval (0 when the plan recorded no
+// busy time — never NaN).
+type LatencyPlan struct {
+	Name      string  `json:"name"`
+	BusyNs    int64   `json:"busy_ns"`
+	Imbalance float64 `json:"imbalance,omitempty"`
+}
+
+// LatencyWindow is one time slice of the run, for percentile-over-time
+// plots. StartSec is the window's offset from the run start.
+type LatencyWindow struct {
+	StartSec float64 `json:"start_sec"`
+	Count    int64   `json:"count"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}

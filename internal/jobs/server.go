@@ -16,15 +16,29 @@ import (
 	"time"
 )
 
+// DefaultKeepAliveInterval is the period between SSE keepalive comment
+// frames on an otherwise-idle event stream.
+const DefaultKeepAliveInterval = 15 * time.Second
+
 // Server serves the job API over a Manager.
 type Server struct {
-	m   *Manager
-	mux *http.ServeMux
+	m         *Manager
+	mux       *http.ServeMux
+	keepAlive time.Duration
+}
+
+// SetKeepAliveInterval overrides the SSE keepalive period (tests use
+// milliseconds; <= 0 restores the default). Call before serving traffic.
+func (s *Server) SetKeepAliveInterval(d time.Duration) {
+	if d <= 0 {
+		d = DefaultKeepAliveInterval
+	}
+	s.keepAlive = d
 }
 
 // NewServer wires the job API routes over m.
 func NewServer(m *Manager) *Server {
-	s := &Server{m: m, mux: http.NewServeMux()}
+	s := &Server{m: m, mux: http.NewServeMux(), keepAlive: DefaultKeepAliveInterval}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -141,7 +155,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams the job's lifecycle and trace events as SSE until
-// the job reaches a terminal state or the client disconnects.
+// the job reaches a terminal state or the client disconnects. Idle
+// streams carry periodic keepalive comment frames so clients and
+// buffering intermediaries can tell a quiet job from a dead connection;
+// events that fail to marshal are dropped but counted
+// (jobs.events_dropped) instead of vanishing silently.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ch, detach, err := s.m.Subscribe(r.PathValue("id"))
 	if err != nil {
@@ -158,6 +176,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	tick := time.NewTicker(s.keepAlive)
+	defer tick.Stop()
 	for {
 		select {
 		case ev, ok := <-ch:
@@ -166,9 +186,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			buf, err := json.Marshal(ev)
 			if err != nil {
+				// A NaN/Inf trace value makes the event unencodable; the
+				// stream must survive, but the loss must be visible.
+				s.m.Counters().Add("jobs.events_dropped", 1)
 				continue
 			}
 			if _, err := fmt.Fprintf(w, "data: %s\n\n", buf); err != nil {
+				return // client gone
+			}
+			fl.Flush()
+		case <-tick.C:
+			// SSE comment frame: ignored by conforming clients, but keeps
+			// the connection visibly alive end to end.
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
 				return // client gone
 			}
 			fl.Flush()

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"github.com/symprop/symprop/internal/faultinject"
+	"github.com/symprop/symprop/internal/obs"
 )
 
 func newHTTP(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
@@ -289,5 +291,116 @@ func TestHTTPMethodRouting(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST on status path: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// sseSetup builds a server with a fast keepalive period, gates the
+// runner fleet, submits one job, and opens its SSE stream.
+func sseSetup(t *testing.T, keepAlive time.Duration) (m *Manager, id string, body *bufio.Scanner, closeStream func()) {
+	t.Helper()
+	m = newManager(t, Config{Runners: 1})
+	started, _ := gateRunners(t)
+	s := NewServer(m)
+	s.SetKeepAliveInterval(keepAlive)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	var err error
+	id, err = m.Submit(baseSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the runner popped the job (now parked in the gate), so
+	// the stream is guaranteed idle afterwards.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(started()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("runner never picked up the job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return m, id, bufio.NewScanner(resp.Body), func() { resp.Body.Close() }
+}
+
+// TestSSEKeepalive: an idle stream (job parked in the runner gate) must
+// carry periodic keepalive comment frames so clients can distinguish a
+// quiet job from a dead connection.
+func TestSSEKeepalive(t *testing.T) {
+	checkGoroutines(t)
+	_, _, sc, closeStream := sseSetup(t, 5*time.Millisecond)
+	defer closeStream()
+	keepalives := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for sc.Scan() && keepalives < 3 {
+		if strings.HasPrefix(sc.Text(), ": keepalive") {
+			keepalives++
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	if keepalives < 3 {
+		t.Fatalf("saw %d keepalive frames on an idle stream, want >= 3 (scan err %v)",
+			keepalives, sc.Err())
+	}
+}
+
+// TestSSEDroppedEventCounted: an event that cannot be marshaled (NaN in a
+// trace value) must be dropped with accounting — the jobs.events_dropped
+// counter moves — and the stream must keep delivering later events.
+func TestSSEDroppedEventCounted(t *testing.T) {
+	checkGoroutines(t)
+	m, id, sc, closeStream := sseSetup(t, time.Hour) // no keepalives: isolate data frames
+	defer closeStream()
+
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		t.Fatal("job not in manager map")
+	}
+	// NaN is unencodable by encoding/json: the realistic marshal-failure
+	// path for a trace event from a diverging decomposition.
+	jobSink{j}.Emit(obs.TraceEvent{Sweep: 1, Objective: math.NaN()})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Counters().Value("jobs.events_dropped") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("jobs.events_dropped never incremented after an unencodable event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The stream must survive the drop: a following valid event arrives.
+	jobSink{j}.Emit(obs.TraceEvent{Sweep: 2, Objective: 1.5})
+	got := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+		if ev.Type == "trace" && ev.Trace != nil && ev.Trace.Sweep == 2 {
+			got = true
+			break
+		}
+		if ev.Trace != nil && ev.Trace.Sweep == 1 {
+			t.Fatal("the unencodable event leaked onto the stream")
+		}
+	}
+	if !got {
+		t.Fatalf("valid event after the dropped one never arrived (scan err %v)", sc.Err())
 	}
 }

@@ -1,0 +1,165 @@
+// Package loadgen is the traffic-shaped load generator behind
+// cmd/symprop-load (docs/LOADGEN.md): an open-loop client that submits a
+// deterministic seeded mix of decomposition jobs against a live
+// symprop-serve instance at a target arrival rate, honors 429/503
+// backpressure, and records per-request latency into log-bucketed
+// histograms — closing ROADMAP item 5 (latency percentiles, throughput,
+// and per-plan attribution under contention, not just ns/op snapshots).
+//
+// The measurement discipline follows the storj metabase-benchmark pattern
+// (loov/hrtime): record raw durations into a fixed-size histogram with no
+// per-sample allocation, report percentiles at the end. Open-loop means
+// arrivals are scheduled by the clock, not by completions: a slow server
+// sees requests pile up (bounded by an in-flight cap that sheds and
+// counts the excess) instead of the generator silently slowing down — the
+// coordinated-omission trap a closed loop falls into.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Histogram bucketing: HDR-style base-2 buckets with 2^histSubBits linear
+// sub-buckets per octave. Values 0..histSubBuckets-1 land in exact unit
+// buckets; above that, each octave splits into histSubBuckets equal
+// slices, so the recorded→reported relative error is bounded by
+// 1/histSubBuckets (≈3.1%). The whole non-negative int64 range fits in
+// histNumBuckets fixed counters — Record never allocates.
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits
+	histNumBuckets = (64 - histSubBits) * histSubBuckets
+)
+
+// QuantileRelError is the histogram's worst-case relative quantile error:
+// a reported quantile q satisfies exact ≤ q ≤ exact·(1+QuantileRelError)+1.
+const QuantileRelError = 1.0 / histSubBuckets
+
+// Histogram is a fixed-size log-bucketed latency histogram. The zero
+// value is ready to use. Not safe for concurrent use: the runner keeps
+// one per worker stripe and merges at the end (Merge).
+type Histogram struct {
+	counts [histNumBuckets]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketIndex maps a non-negative value to its bucket. Negative values
+// clamp to bucket 0 (a clock hiccup must not corrupt the array).
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // position of the leading 1, ≥ histSubBits
+	sub := int((v >> uint(exp-histSubBits)) & (histSubBuckets - 1))
+	return (exp-histSubBits+1)<<histSubBits | sub
+}
+
+// bucketUpper returns the largest value mapping to bucket i — the value
+// Quantile reports, so estimates always bound the true sample from above.
+func bucketUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	block := i >> histSubBits
+	sub := int64(i&(histSubBuckets-1)) + histSubBuckets
+	shift := uint(block - 1) // exp - histSubBits
+	return (sub+1)<<shift - 1
+}
+
+// Record folds one sample (nanoseconds) into the histogram.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Merge adds o's samples into h (the per-worker → global fold).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Max returns the largest recorded sample (exact, not bucketed); 0 when
+// empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Min returns the smallest recorded sample (exact); 0 when empty.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Mean returns the exact arithmetic mean; 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-th quantile (q in [0,1]) with
+// relative error ≤ QuantileRelError; 0 when the histogram is empty. q ≤ 0
+// returns the exact minimum, q ≥ 1 the exact maximum.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max // the top bucket may overshoot the true max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// String renders the headline percentiles, for logs and reports.
+func (h *Histogram) String() string {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	return fmt.Sprintf("n=%d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		h.count, ms(h.Quantile(0.50)), ms(h.Quantile(0.95)), ms(h.Quantile(0.99)), ms(h.max))
+}

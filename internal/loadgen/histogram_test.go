@@ -1,0 +1,165 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketRoundTrip pins the bucket math: every value maps into a
+// bucket whose bounds contain it, small values are exact, and the
+// relative bucket width never exceeds the documented error bound.
+func TestBucketRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 65, 100, 1023, 1024, 1025,
+		1<<20 - 1, 1 << 20, 1<<40 + 12345, 1<<62 + 7}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		values = append(values, rng.Int63())
+	}
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < 0 || i >= histNumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		upper := bucketUpper(i)
+		if v > upper {
+			t.Fatalf("value %d above its bucket upper %d (bucket %d)", v, upper, i)
+		}
+		var lower int64
+		if i > 0 {
+			lower = bucketUpper(i-1) + 1
+		}
+		if v < lower {
+			t.Fatalf("value %d below its bucket lower %d (bucket %d)", v, lower, i)
+		}
+		if v < histSubBuckets && upper != v {
+			t.Fatalf("small value %d not exact: upper %d", v, upper)
+		}
+		// Relative width bound: (upper - lower) / lower <= 1/histSubBuckets
+		// for all log-range buckets.
+		if lower >= histSubBuckets {
+			if width := upper - lower; width > lower/histSubBuckets {
+				t.Fatalf("bucket %d [%d,%d] wider than %.1f%% of lower bound",
+					i, lower, upper, 100.0/histSubBuckets)
+			}
+		}
+	}
+}
+
+// TestQuantileAgainstOracle checks every reported quantile against the
+// exact sorted-sample answer: the estimate must bound the true sample
+// from above and stay within the documented relative error.
+func TestQuantileAgainstOracle(t *testing.T) {
+	dists := map[string]func(*rand.Rand) int64{
+		"uniform-wide": func(r *rand.Rand) int64 { return r.Int63n(1 << 40) },
+		"uniform-tiny": func(r *rand.Rand) int64 { return r.Int63n(20) },
+		"exponential": func(r *rand.Rand) int64 {
+			return int64(r.ExpFloat64() * 5e6) // mean 5ms in ns
+		},
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(10) == 0 {
+				return 1e9 + r.Int63n(1e9) // slow tail
+			}
+			return 1e6 + r.Int63n(1e6)
+		},
+	}
+	quantiles := []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			const n = 20000
+			var h Histogram
+			samples := make([]int64, n)
+			for i := range samples {
+				samples[i] = gen(rng)
+				h.Record(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			if h.Count() != n {
+				t.Fatalf("count %d, want %d", h.Count(), n)
+			}
+			if h.Min() != samples[0] || h.Max() != samples[n-1] {
+				t.Fatalf("min/max %d/%d, want exact %d/%d", h.Min(), h.Max(), samples[0], samples[n-1])
+			}
+			var sum int64
+			for _, v := range samples {
+				sum += v
+			}
+			if got, want := h.Mean(), float64(sum)/n; got != want {
+				t.Fatalf("mean %g, want exact %g", got, want)
+			}
+			for _, q := range quantiles {
+				rank := int((q * n)) // ceil below
+				if float64(rank) < q*n {
+					rank++
+				}
+				if rank < 1 {
+					rank = 1
+				}
+				exact := samples[rank-1]
+				got := h.Quantile(q)
+				if got < exact {
+					t.Errorf("q=%.3f: estimate %d below exact %d", q, got, exact)
+				}
+				bound := exact + exact/histSubBuckets + 1
+				if got > bound {
+					t.Errorf("q=%.3f: estimate %d above error bound %d (exact %d)", q, got, bound, exact)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantileEdgeCases pins the empty and out-of-range behavior.
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(100)
+	h.Record(-5) // clamps to 0
+	if h.Min() != 0 {
+		t.Fatalf("negative sample must clamp to 0, min %d", h.Min())
+	}
+	if got := h.Quantile(-1); got != h.Min() {
+		t.Fatalf("q<=0 must return min, got %d", got)
+	}
+	if got := h.Quantile(2); got != h.Max() {
+		t.Fatalf("q>=1 must return max, got %d", got)
+	}
+}
+
+// TestMerge verifies that per-worker histograms merged together are
+// indistinguishable from one histogram that saw every sample.
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, workers = 10000, 7
+	var whole Histogram
+	parts := make([]Histogram, workers)
+	for i := 0; i < n; i++ {
+		v := int64(rng.ExpFloat64() * 2e6)
+		whole.Record(v)
+		parts[i%workers].Record(v)
+	}
+	var merged Histogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	merged.Merge(nil)          // nil-safe
+	merged.Merge(&Histogram{}) // empty no-op
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() ||
+		merged.Max() != whole.Max() || merged.Mean() != whole.Mean() {
+		t.Fatalf("merged summary diverges: %v vs %v", merged.String(), whole.String())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%.2f: merged %d != whole %d", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging into an empty histogram preserves the exact min.
+	var fresh Histogram
+	fresh.Merge(&whole)
+	if fresh.Min() != whole.Min() || fresh.Count() != whole.Count() {
+		t.Fatal("merge into empty histogram lost min/count")
+	}
+}

@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/symprop/symprop/internal/spsym"
+)
+
+// TestScheduleDeterminism is the reproducibility contract: the same
+// (mix, rate, duration, seed) tuple yields a byte-for-byte identical
+// schedule, and a different seed yields a different one.
+func TestScheduleDeterminism(t *testing.T) {
+	mix := DefaultMix()
+	encode := func(seed int64) string {
+		arrivals, err := mix.Schedule(50, 2*time.Second, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := EncodeSchedule(&b, arrivals); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := encode(1), encode(1)
+	if a != b {
+		t.Fatal("same seed produced different schedules")
+	}
+	if a == encode(2) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule at 50/s over 2s")
+	}
+}
+
+// TestScheduleShape checks the schedule's structural invariants: sorted
+// arrivals inside the window, plausible count for the offered rate, and
+// every shape of the mix represented.
+func TestScheduleShape(t *testing.T) {
+	mix := DefaultMix()
+	const rate, dur = 100.0, 5 * time.Second
+	arrivals, err := mix.Schedule(rate, dur, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := rate * dur.Seconds()
+	if n := float64(len(arrivals)); n < expected/2 || n > expected*2 {
+		t.Fatalf("got %d arrivals, expected around %.0f", len(arrivals), expected)
+	}
+	seen := make(map[int]int)
+	var prev time.Duration
+	for _, a := range arrivals {
+		if a.At < prev {
+			t.Fatal("arrivals out of order")
+		}
+		if a.At >= dur {
+			t.Fatalf("arrival at %s beyond window %s", a.At, dur)
+		}
+		prev = a.At
+		if a.Shape < 0 || a.Shape >= len(mix.Shapes) {
+			t.Fatalf("shape index %d out of range", a.Shape)
+		}
+		seen[a.Shape]++
+	}
+	for i, s := range mix.Shapes {
+		if seen[i] == 0 {
+			t.Errorf("shape %s never picked in %d arrivals", s.Name, len(arrivals))
+		}
+	}
+	// Weighted pick sanity: the weight-6 shape must dominate the weight-1.
+	if seen[0] <= seen[2] {
+		t.Errorf("weights not respected: small %d <= large %d", seen[0], seen[2])
+	}
+}
+
+// TestScheduleValidation pins the error paths.
+func TestScheduleValidation(t *testing.T) {
+	if _, err := (&Mix{}).Schedule(10, time.Second, 1); err == nil {
+		t.Fatal("empty mix must fail")
+	}
+	if _, err := DefaultMix().Schedule(0, time.Second, 1); err == nil {
+		t.Fatal("zero rate must fail")
+	}
+	if _, err := DefaultMix().Schedule(10, 0, 1); err == nil {
+		t.Fatal("zero duration must fail")
+	}
+	if _, err := MixByName("nope"); err == nil {
+		t.Fatal("unknown mix name must fail")
+	}
+	for _, name := range []string{"", "default", "smoke"} {
+		if _, err := MixByName(name); err != nil {
+			t.Fatalf("mix %q: %v", name, err)
+		}
+	}
+}
+
+// TestTensorsDeterministic checks the per-shape tensors parse and are
+// reproducible for a fixed seed.
+func TestTensorsDeterministic(t *testing.T) {
+	mix := SmokeMix()
+	a, err := mix.Tensors(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mix.Tensors(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shape %d tensor not deterministic", i)
+		}
+		x, err := spsym.ReadFrom(strings.NewReader(a[i]))
+		if err != nil {
+			t.Fatalf("shape %d tensor does not parse: %v", i, err)
+		}
+		if x.Order != mix.Shapes[i].Order || x.Dim != mix.Shapes[i].Dim {
+			t.Fatalf("shape %d tensor geometry mismatch", i)
+		}
+	}
+}

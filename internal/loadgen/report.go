@@ -1,0 +1,139 @@
+package loadgen
+
+// Reporting: fold a Result into the shared BENCH_*.json latency schema
+// (internal/bench) and render the percentile-over-time figure
+// (internal/plot). Kept apart from the runner so tests can exercise the
+// conversion on synthetic results.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"time"
+
+	"github.com/symprop/symprop/internal/bench"
+	"github.com/symprop/symprop/internal/plot"
+)
+
+// ms converts nanoseconds to the milliseconds the schema carries.
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// round2 trims float noise so snapshots diff cleanly.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// ToLatencyRun converts a finished run into its snapshot record. name
+// identifies the configuration across snapshots (e.g. "smoke@20rps").
+func ToLatencyRun(name string, o Options, res *Result) bench.LatencyRun {
+	run := bench.LatencyRun{
+		Name:        name,
+		Seed:        o.Seed,
+		OfferedRPS:  round2(o.Rate),
+		DurationSec: o.Duration.Seconds(),
+		Scheduled:   res.Scheduled,
+		Submitted:   res.Submitted,
+		Completed:   res.Completed,
+		Failed:      res.Failed,
+		Shed:        res.Shed,
+		Retries:     res.Retries,
+		Saturated:   res.Saturated,
+		P50Ms:       round2(ms(res.Hist.Quantile(0.50))),
+		P95Ms:       round2(ms(res.Hist.Quantile(0.95))),
+		P99Ms:       round2(ms(res.Hist.Quantile(0.99))),
+		MaxMs:       round2(ms(res.Hist.Max())),
+		MeanMs:      round2(res.Hist.Mean() / 1e6),
+		Counters:    res.CounterDeltas,
+	}
+	if res.Elapsed > 0 {
+		run.AchievedRPS = round2(float64(res.Completed) / res.Elapsed.Seconds())
+	}
+	for _, p := range res.PlanDeltas {
+		run.Plans = append(run.Plans, bench.LatencyPlan{
+			Name: p.Name, BusyNs: p.BusyNs, Imbalance: round2(p.Imbalance),
+		})
+	}
+	for _, w := range res.Windows {
+		if w.Hist.Count() == 0 {
+			continue
+		}
+		run.Windows = append(run.Windows, bench.LatencyWindow{
+			StartSec: w.Start.Seconds(),
+			Count:    w.Hist.Count(),
+			P50Ms:    round2(ms(w.Hist.Quantile(0.50))),
+			P95Ms:    round2(ms(w.Hist.Quantile(0.95))),
+			P99Ms:    round2(ms(w.Hist.Quantile(0.99))),
+		})
+	}
+	return run
+}
+
+// PercentileChart builds the percentile-over-time figure for one run:
+// p50/p95/p99 per arrival window. Returns nil when the run has no
+// windowed samples (nothing completed).
+func PercentileChart(run bench.LatencyRun) *plot.Chart {
+	if len(run.Windows) == 0 {
+		return nil
+	}
+	n := len(run.Windows)
+	x := make([]float64, n)
+	p50 := make([]float64, n)
+	p95 := make([]float64, n)
+	p99 := make([]float64, n)
+	for i, w := range run.Windows {
+		x[i] = w.StartSec
+		p50[i] = w.P50Ms
+		p95[i] = w.P95Ms
+		p99[i] = w.P99Ms
+	}
+	return &plot.Chart{
+		Title:  fmt.Sprintf("Job latency over time — %s (offered %.1f/s)", run.Name, run.OfferedRPS),
+		XLabel: "arrival time (s)",
+		YLabel: "latency (ms)",
+		Series: []plot.Series{
+			{Name: "p50", X: x, Y: p50, Slot: 0},
+			{Name: "p95", X: x, Y: p95, Slot: 2},
+			{Name: "p99", X: x, Y: p99, Slot: 5},
+		},
+	}
+}
+
+// SavePercentileSVG renders the run's percentile-over-time figure into
+// dir as load_latency_<name>.svg; no-op (empty path, nil error) when the
+// run has no windows.
+func SavePercentileSVG(dir string, run bench.LatencyRun) (string, error) {
+	c := PercentileChart(run)
+	if c == nil {
+		return "", nil
+	}
+	path := filepath.Join(dir, "load_latency_"+sanitize(run.Name)+".svg")
+	return path, c.Save(path)
+}
+
+// sanitize maps a run name to a filesystem-safe figure stem.
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// WriteReport renders the human-readable run summary.
+func WriteReport(w io.Writer, run bench.LatencyRun, res *Result) {
+	fmt.Fprintf(w, "run %s: offered %.1f/s achieved %.1f/s over %s (+drain, total %s)\n",
+		run.Name, run.OfferedRPS, run.AchievedRPS,
+		time.Duration(run.DurationSec*float64(time.Second)).Round(time.Millisecond),
+		res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  scheduled %d  submitted %d  completed %d  failed %d  shed %d  retries %d  saturated %d\n",
+		run.Scheduled, run.Submitted, run.Completed, run.Failed, run.Shed, run.Retries, run.Saturated)
+	fmt.Fprintf(w, "  latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms  mean %.2fms\n",
+		run.P50Ms, run.P95Ms, run.P99Ms, run.MaxMs, run.MeanMs)
+	for _, p := range run.Plans {
+		fmt.Fprintf(w, "  plan %-24s busy %12dns  imbalance %.3f\n", p.Name, p.BusyNs, p.Imbalance)
+	}
+}

@@ -159,14 +159,24 @@ func (m *Metrics) Snapshot() []PlanMetrics {
 			SpanNs:      acc.spanNs,
 			MaxBusyNs:   acc.maxBusyNs,
 		}
-		if acc.busyNs > 0 {
-			pm.Imbalance = float64(acc.maxBusyNs) / float64(acc.busyNs)
-		}
+		pm.Imbalance = ImbalanceRatio(acc.maxBusyNs, acc.busyNs)
 		out = append(out, pm)
 	}
 	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// ImbalanceRatio is the guarded load-imbalance quotient maxBusyNs/busyNs:
+// 0 when busyNs is zero or negative, so an all-idle plan — or a metrics
+// delta over an interval the plan never ran in — reports 0 instead of
+// leaking NaN/Inf into -metrics JSON and BENCH_*.json columns. Every
+// imbalance computed from PlanMetrics sums or deltas must go through it.
+func ImbalanceRatio(maxBusyNs, busyNs int64) float64 {
+	if busyNs <= 0 {
+		return 0
+	}
+	return float64(maxBusyNs) / float64(busyNs)
 }
 
 // global is the process-wide collector exec.Run consults in addition to

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -158,4 +159,53 @@ func TestPublishExpvarIdempotent(t *testing.T) {
 	PublishExpvar("obs.test.plans", m)
 	// A second publish with the same name must not panic.
 	PublishExpvar("obs.test.plans", m)
+}
+
+// TestImbalanceRatioGuard pins the zero-busy denominator: an all-idle
+// plan (or a delta over an idle interval) reports imbalance 0, never
+// NaN/Inf — the value lands verbatim in /metrics JSON and BENCH_*.json
+// columns, where a NaN would make the whole document unencodable.
+func TestImbalanceRatioGuard(t *testing.T) {
+	cases := []struct {
+		maxBusy, busy int64
+		want          float64
+	}{
+		{0, 0, 0},
+		{100, 0, 0},   // recorded max but no busy sum: still guarded
+		{100, -5, 0},  // clock skew must not produce a negative ratio
+		{0, 100, 0},   // idle max over busy interval
+		{150, 100, 1.5},
+		{100, 100, 1},
+	}
+	for _, c := range cases {
+		got := ImbalanceRatio(c.maxBusy, c.busy)
+		if got != c.want {
+			t.Errorf("ImbalanceRatio(%d, %d) = %v, want %v", c.maxBusy, c.busy, got, c.want)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("ImbalanceRatio(%d, %d) leaked %v", c.maxBusy, c.busy, got)
+		}
+	}
+}
+
+// TestSnapshotAllIdleImbalance: a plan recorded with zero-length busy
+// slices (all workers idle) must snapshot with Imbalance 0 and survive a
+// JSON round trip.
+func TestSnapshotAllIdleImbalance(t *testing.T) {
+	m := New()
+	m.RecordPlan("idle.plan", 4, 16, 1000, []int64{0, 0, 0, 0})
+	snap := m.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len %d", len(snap))
+	}
+	pm := snap[0]
+	if pm.BusyNs != 0 || pm.Imbalance != 0 {
+		t.Fatalf("all-idle plan: busy %d imbalance %v, want 0/0", pm.BusyNs, pm.Imbalance)
+	}
+	if math.IsNaN(pm.Imbalance) || math.IsInf(pm.Imbalance, 0) {
+		t.Fatalf("all-idle imbalance leaked %v", pm.Imbalance)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("all-idle snapshot not JSON-encodable: %v", err)
+	}
 }

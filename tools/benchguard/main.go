@@ -1,128 +1,252 @@
 // Command benchguard compares the two newest committed BENCH_<date>.json
 // snapshots (tools/benchjson output, ordered by file name — the names embed
-// the date, so lexical order is chronological) and fails when any benchmark
-// matching -pattern regressed in ns/op by more than -tol. Per-plan busy-ns
-// columns (from the engine's observability counters) are printed beside each
-// comparison for attribution but are never gated.
+// the date, so lexical order is chronological) and fails when any guarded
+// measurement regressed:
+//
+//   - ns/op of benchmarks matching -pattern, beyond -tol;
+//   - p95/p99 of latency runs (the `latency` section cmd/symprop-load
+//     writes), beyond -latency-tol;
+//   - a guarded benchmark or latency run present in the baseline but
+//     missing from the head — deleting a regressed measurement must not
+//     pass the gate. Intentional removals use -allow-removed.
+//
+// Per-plan busy-ns columns (from the engine's observability counters) are
+// printed beside each comparison for attribution but are never gated.
 //
 // It is the perf gate behind `make bench-guard` and CI's bench-smoke job:
 // a PR that lands a new snapshot must keep the S³TTMc kernels within
 // tolerance of the previous snapshot. Missing baselines are not an error —
 // with fewer than two snapshots there is nothing to compare, so the guard
 // passes (first snapshot in a fresh clone, or a repo predating snapshots).
+// Snapshots that predate the latency section load and compare fine: the
+// section is optional, and latency gating engages only when the baseline
+// carries it.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"github.com/symprop/symprop/internal/bench"
 )
 
-type benchmark struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
-	// Extra carries custom b.ReportMetric columns (benchjson's "extra" map),
-	// e.g. the per-plan engine counters "s3ttmc.owner-busy-ns/op". Busy-ns
-	// columns are reported informationally next to the guarded ns/op delta so
-	// a wall-clock regression can be attributed to a specific plan without
-	// rerunning the benchmark.
-	Extra map[string]float64 `json:"extra,omitempty"`
-}
-
-type snapshot struct {
-	Date       string      `json:"date"`
-	NumCPU     int         `json:"num_cpu"`
-	Benchmarks []benchmark `json:"benchmarks"`
-}
-
-func load(path string) (*snapshot, error) {
+func load(path string) (*bench.Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var s snapshot
+	var s bench.Snapshot
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &s, nil
 }
 
-func main() {
-	dir := flag.String("dir", ".", "directory holding BENCH_*.json snapshots")
-	pattern := flag.String("pattern", "S3TTMc", "substring a benchmark name must contain to be guarded")
-	tol := flag.Float64("tol", 0.10, "allowed fractional ns/op regression")
-	flag.Parse()
+// options are the guard's knobs, split from flag parsing for tests.
+type options struct {
+	dir          string
+	pattern      string
+	tol          float64
+	latencyTol   float64
+	allowRemoved bool
+}
 
-	paths, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+func main() {
+	var o options
+	flag.StringVar(&o.dir, "dir", ".", "directory holding BENCH_*.json snapshots")
+	flag.StringVar(&o.pattern, "pattern", "S3TTMc", "substring a benchmark name must contain to be guarded")
+	flag.Float64Var(&o.tol, "tol", 0.10, "allowed fractional ns/op regression")
+	flag.Float64Var(&o.latencyTol, "latency-tol", 0.25, "allowed fractional p95/p99 regression for latency runs")
+	flag.BoolVar(&o.allowRemoved, "allow-removed", false, "tolerate guarded benchmarks or latency runs removed since the baseline")
+	flag.Parse()
+	os.Exit(run(o, os.Stdout, os.Stderr))
+}
+
+// run executes the guard and returns the process exit code: 0 pass, 1
+// regression (or unexplained removal), 2 operational error / nothing
+// matched the pattern.
+func run(o options, out, errw io.Writer) int {
+	paths, err := filepath.Glob(filepath.Join(o.dir, "BENCH_*.json"))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(errw, "benchguard: %v\n", err)
+		return 2
 	}
 	if len(paths) < 2 {
-		fmt.Printf("benchguard: %d snapshot(s) found, nothing to compare\n", len(paths))
-		return
+		fmt.Fprintf(out, "benchguard: %d snapshot(s) found, nothing to compare\n", len(paths))
+		return 0
 	}
 	sort.Strings(paths)
 	basePath, headPath := paths[len(paths)-2], paths[len(paths)-1]
 	base, err := load(basePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(errw, "benchguard: %v\n", err)
+		return 2
 	}
 	head, err := load(headPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(errw, "benchguard: %v\n", err)
+		return 2
 	}
 	if base.NumCPU != head.NumCPU {
 		// ns/op across different core counts is noise, not signal.
-		fmt.Printf("benchguard: cpu count changed (%d -> %d), skipping comparison\n",
+		fmt.Fprintf(out, "benchguard: cpu count changed (%d -> %d), skipping comparison\n",
 			base.NumCPU, head.NumCPU)
-		return
+		return 0
 	}
 
-	baseline := make(map[string]benchmark, len(base.Benchmarks))
+	fmt.Fprintf(out, "benchguard: %s vs %s (pattern %q, tol %.0f%%, latency tol %.0f%%)\n",
+		filepath.Base(basePath), filepath.Base(headPath), o.pattern, o.tol*100, o.latencyTol*100)
+
+	nsOK := compareNsPerOp(o, base, head, out)
+	latOK := compareLatency(o, base, head, out)
+
+	if nsOK.failed > 0 || latOK.failed > 0 {
+		fmt.Fprintf(errw, "benchguard: %d measurement(s) regressed beyond tolerance\n",
+			nsOK.failed+latOK.failed)
+		return 1
+	}
+	removed := nsOK.removed + latOK.removed
+	if removed > 0 && !o.allowRemoved {
+		fmt.Fprintf(errw, "benchguard: %d guarded measurement(s) removed since baseline (use -allow-removed if intentional)\n", removed)
+		return 1
+	}
+	if nsOK.matched()+latOK.matched() == 0 {
+		fmt.Fprintf(errw, "benchguard: no benchmark matched %q in either snapshot and no latency runs to compare\n", o.pattern)
+		return 2
+	}
+	fmt.Fprintf(out, "benchguard: %d measurement(s) within tolerance", nsOK.compared+latOK.compared)
+	if removed > 0 {
+		fmt.Fprintf(out, " (%d removal(s) allowed)", removed)
+	}
+	fmt.Fprintln(out)
+	return 0
+}
+
+// tally accumulates one comparison dimension's outcome.
+type tally struct {
+	compared, failed, added, removed int
+}
+
+func (t tally) matched() int { return t.compared + t.added + t.removed }
+
+// compareNsPerOp gates the classic `go test -bench` results: every head
+// benchmark matching the pattern against its baseline, plus removal
+// detection for baseline benchmarks the head no longer carries.
+func compareNsPerOp(o options, base, head *bench.Snapshot, out io.Writer) tally {
+	var t tally
+	baseline := make(map[string]bench.Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseline[b.Name] = b
 	}
-
-	fmt.Printf("benchguard: %s vs %s (pattern %q, tol %.0f%%)\n",
-		filepath.Base(basePath), filepath.Base(headPath), *pattern, *tol*100)
-	var failed, compared int
+	inHead := make(map[string]bool, len(head.Benchmarks))
 	for _, b := range head.Benchmarks {
-		if !strings.Contains(b.Name, *pattern) {
+		inHead[b.Name] = true
+		if !strings.Contains(b.Name, o.pattern) {
 			continue
 		}
 		prev, ok := baseline[b.Name]
 		if !ok || prev.NsPerOp <= 0 {
-			fmt.Printf("  new       %-70s %12.0f ns/op\n", b.Name, b.NsPerOp)
-			printBusy(b, benchmark{})
+			t.added++
+			fmt.Fprintf(out, "  new       %-70s %12.0f ns/op\n", b.Name, b.NsPerOp)
+			printBusy(out, b, bench.Benchmark{})
 			continue
 		}
-		compared++
+		t.compared++
 		delta := (b.NsPerOp - prev.NsPerOp) / prev.NsPerOp
 		status := "ok"
-		if delta > *tol {
+		if delta > o.tol {
 			status = "REGRESSED"
-			failed++
+			t.failed++
 		}
-		fmt.Printf("  %-9s %-70s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+		fmt.Fprintf(out, "  %-9s %-70s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
 			status, b.Name, prev.NsPerOp, b.NsPerOp, delta*100)
-		printBusy(b, prev)
+		printBusy(out, b, prev)
 	}
-	if compared == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: no benchmark matched %q in both snapshots\n", *pattern)
-		os.Exit(2)
+	// The other direction: a guarded baseline benchmark the head dropped.
+	for _, b := range base.Benchmarks {
+		if !strings.Contains(b.Name, o.pattern) || inHead[b.Name] {
+			continue
+		}
+		t.removed++
+		fmt.Fprintf(out, "  REMOVED   %-70s %12.0f ns/op in baseline, absent from head\n",
+			b.Name, b.NsPerOp)
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: %d benchmark(s) regressed beyond %.0f%%\n", failed, *tol*100)
-		os.Exit(1)
+	return t
+}
+
+// compareLatency gates the p95/p99 of every latency run (by name) present
+// in both snapshots, with the same removal rule. A baseline without a
+// latency section disengages the gate entirely — pre-latency snapshots
+// stay comparable.
+func compareLatency(o options, base, head *bench.Snapshot, out io.Writer) tally {
+	var t tally
+	if base.Latency == nil || len(base.Latency.Runs) == 0 {
+		if head.Latency != nil {
+			for _, r := range head.Latency.Runs {
+				t.added++
+				fmt.Fprintf(out, "  new       latency %-62s p95 %9.2fms  p99 %9.2fms\n",
+					r.Name, r.P95Ms, r.P99Ms)
+			}
+		}
+		return t
 	}
-	fmt.Printf("benchguard: %d benchmark(s) within tolerance\n", compared)
+	headRuns := make(map[string]bench.LatencyRun)
+	if head.Latency != nil {
+		for _, r := range head.Latency.Runs {
+			headRuns[r.Name] = r
+		}
+	}
+	for _, prev := range base.Latency.Runs {
+		r, ok := headRuns[prev.Name]
+		if !ok {
+			t.removed++
+			fmt.Fprintf(out, "  REMOVED   latency %-62s p95 %9.2fms in baseline, absent from head\n",
+				prev.Name, prev.P95Ms)
+			continue
+		}
+		delete(headRuns, prev.Name)
+		t.compared++
+		worst := 0.0
+		for _, q := range []struct {
+			label      string
+			prev, head float64
+		}{{"p95", prev.P95Ms, r.P95Ms}, {"p99", prev.P99Ms, r.P99Ms}} {
+			if q.prev <= 0 {
+				continue
+			}
+			delta := (q.head - q.prev) / q.prev
+			if delta > worst {
+				worst = delta
+			}
+			status := "ok"
+			if delta > o.latencyTol {
+				status = "REGRESSED"
+			}
+			fmt.Fprintf(out, "  %-9s latency %-62s %s %9.2f -> %9.2f ms (%+.1f%%)\n",
+				status, prev.Name, q.label, q.prev, q.head, delta*100)
+		}
+		if worst > o.latencyTol {
+			t.failed++
+		}
+	}
+	names := make([]string, 0, len(headRuns))
+	for name := range headRuns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := headRuns[name]
+		t.added++
+		fmt.Fprintf(out, "  new       latency %-62s p95 %9.2fms  p99 %9.2fms\n",
+			r.Name, r.P95Ms, r.P99Ms)
+	}
+	return t
 }
 
 // printBusy lists the per-plan busy-ns columns of a head benchmark, with the
@@ -130,7 +254,7 @@ func main() {
 // Busy time is attribution, not a gate: plan-level skew within a steady
 // wall-clock is expected (e.g. fused kernels shifting work out of the reduce
 // plan), so these lines never fail the guard.
-func printBusy(head, base benchmark) {
+func printBusy(out io.Writer, head, base bench.Benchmark) {
 	keys := make([]string, 0, len(head.Extra))
 	for k := range head.Extra {
 		if strings.Contains(k, "busy-ns") {
@@ -140,9 +264,9 @@ func printBusy(head, base benchmark) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		if old, ok := base.Extra[k]; ok && old > 0 {
-			fmt.Printf("            %-68s %12.0f -> %12.0f\n", k, old, head.Extra[k])
+			fmt.Fprintf(out, "            %-68s %12.0f -> %12.0f\n", k, old, head.Extra[k])
 		} else {
-			fmt.Printf("            %-68s %12.0f\n", k, head.Extra[k])
+			fmt.Fprintf(out, "            %-68s %12.0f\n", k, head.Extra[k])
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/symprop/symprop/internal/bench"
+)
+
+// opts returns the default guard options pointed at dir.
+func opts(dir string) options {
+	return options{dir: dir, pattern: "S3TTMc", tol: 0.10, latencyTol: 0.25}
+}
+
+// writeSnap serializes a snapshot fixture into dir under name.
+func writeSnap(t *testing.T, dir, name string, s bench.Snapshot) {
+	t.Helper()
+	if s.NumCPU == 0 {
+		s.NumCPU = 8
+	}
+	buf, err := json.MarshalIndent(&s, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nsBench(name string, ns float64) bench.Benchmark {
+	return bench.Benchmark{Name: name, Iterations: 5, NsPerOp: ns}
+}
+
+func latSnap(benches []bench.Benchmark, runs ...bench.LatencyRun) bench.Snapshot {
+	s := bench.Snapshot{Benchmarks: benches}
+	if len(runs) > 0 {
+		s.Latency = &bench.LatencySection{Source: "symprop-load", Runs: runs}
+	}
+	return s
+}
+
+func runGuard(t *testing.T, o options) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(o, &out, &errw)
+	t.Logf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	return code, out.String(), errw.String()
+}
+
+func TestGuardWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_2026-01-01.json", latSnap([]bench.Benchmark{nsBench("BenchmarkS3TTMcX-8", 1000)}))
+	writeSnap(t, dir, "BENCH_2026-01-02.json", latSnap([]bench.Benchmark{nsBench("BenchmarkS3TTMcX-8", 1050)}))
+	if code, _, _ := runGuard(t, opts(dir)); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+}
+
+func TestGuardNsPerOpRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_2026-01-01.json", latSnap([]bench.Benchmark{nsBench("BenchmarkS3TTMcX-8", 1000)}))
+	writeSnap(t, dir, "BENCH_2026-01-02.json", latSnap([]bench.Benchmark{nsBench("BenchmarkS3TTMcX-8", 1200)}))
+	code, out, _ := runGuard(t, opts(dir))
+	if code != 1 || !strings.Contains(out, "REGRESSED") {
+		t.Fatalf("exit %d, want 1 with REGRESSED line", code)
+	}
+}
+
+// TestGuardRemovedBenchmark is the satellite bugfix: a guarded benchmark
+// present in the baseline but missing from the head must fail the gate —
+// deleting a regressed benchmark is not a pass — unless -allow-removed.
+func TestGuardRemovedBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_2026-01-01.json", latSnap([]bench.Benchmark{
+		nsBench("BenchmarkS3TTMcX-8", 1000), nsBench("BenchmarkS3TTMcY-8", 2000)}))
+	writeSnap(t, dir, "BENCH_2026-01-02.json", latSnap([]bench.Benchmark{
+		nsBench("BenchmarkS3TTMcX-8", 1000)}))
+	code, out, errw := runGuard(t, opts(dir))
+	if code != 1 || !strings.Contains(out, "REMOVED") || !strings.Contains(errw, "allow-removed") {
+		t.Fatalf("exit %d, want 1 with REMOVED report and -allow-removed hint", code)
+	}
+	o := opts(dir)
+	o.allowRemoved = true
+	if code, _, _ := runGuard(t, o); code != 0 {
+		t.Fatalf("with -allow-removed: exit %d, want 0", code)
+	}
+}
+
+// TestGuardP95RegressionFixture gates the committed fixture: the head
+// snapshot's p95 jumped 40→70ms (75%) past the 25% latency tolerance
+// while ns/op stayed within its own tolerance.
+func TestGuardP95RegressionFixture(t *testing.T) {
+	code, out, _ := runGuard(t, opts(filepath.Join("testdata", "p95-regression")))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "p95") {
+		t.Fatal("missing p95 REGRESSED report")
+	}
+	// Loosening the latency tolerance (but not ns/op) must pass: the
+	// regression is latency-only.
+	o := opts(filepath.Join("testdata", "p95-regression"))
+	o.latencyTol = 1.0
+	if code, _, _ := runGuard(t, o); code != 0 {
+		t.Fatalf("latency-tol 100%%: exit %d, want 0", code)
+	}
+}
+
+// TestGuardPreLatencyBaseline: a baseline that predates the latency
+// section (the committed PR-2-era fixture) compares fine against a head
+// that carries one — the latency gate engages only when both sides have
+// data.
+func TestGuardPreLatencyBaseline(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.ReadFile(filepath.Join("testdata", "prelatency", "BENCH_2026-01-10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_2026-01-10.json"), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeSnap(t, dir, "BENCH_2026-01-11.json", latSnap(
+		[]bench.Benchmark{nsBench("BenchmarkS3TTMcOwner/o3_d100_nnz10000_r16-8", 1010000)},
+		bench.LatencyRun{Name: "smoke@20rps", P95Ms: 40, P99Ms: 80}))
+	if code, _, _ := runGuard(t, opts(dir)); code != 0 {
+		t.Fatalf("pre-latency baseline: exit %d, want 0", code)
+	}
+}
+
+// TestGuardRemovedLatencyRun: dropping a guarded latency run is a removal
+// like any other.
+func TestGuardRemovedLatencyRun(t *testing.T) {
+	dir := t.TempDir()
+	benches := []bench.Benchmark{nsBench("BenchmarkS3TTMcX-8", 1000)}
+	writeSnap(t, dir, "BENCH_2026-01-01.json", latSnap(benches,
+		bench.LatencyRun{Name: "smoke@20rps", P95Ms: 40, P99Ms: 80}))
+	writeSnap(t, dir, "BENCH_2026-01-02.json", latSnap(benches))
+	code, out, _ := runGuard(t, opts(dir))
+	if code != 1 || !strings.Contains(out, "REMOVED") {
+		t.Fatalf("exit %d, want 1 with REMOVED latency report", code)
+	}
+	o := opts(dir)
+	o.allowRemoved = true
+	if code, _, _ := runGuard(t, o); code != 0 {
+		t.Fatalf("with -allow-removed: exit %d, want 0", code)
+	}
+}
+
+func TestGuardNoMatch(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_2026-01-01.json", latSnap([]bench.Benchmark{nsBench("BenchmarkOther-8", 1000)}))
+	writeSnap(t, dir, "BENCH_2026-01-02.json", latSnap([]bench.Benchmark{nsBench("BenchmarkOther-8", 1000)}))
+	if code, _, _ := runGuard(t, opts(dir)); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestGuardFewerThanTwoSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_2026-01-01.json", latSnap([]bench.Benchmark{nsBench("BenchmarkS3TTMcX-8", 1000)}))
+	if code, _, _ := runGuard(t, opts(dir)); code != 0 {
+		t.Fatal("a single snapshot must pass (nothing to compare)")
+	}
+}
+
+func TestGuardCPUCountChange(t *testing.T) {
+	dir := t.TempDir()
+	a := latSnap([]bench.Benchmark{nsBench("BenchmarkS3TTMcX-8", 1000)})
+	b := latSnap([]bench.Benchmark{nsBench("BenchmarkS3TTMcX-8", 9000)})
+	b.NumCPU = 16
+	writeSnap(t, dir, "BENCH_2026-01-01.json", a)
+	writeSnap(t, dir, "BENCH_2026-01-02.json", b)
+	if code, _, _ := runGuard(t, opts(dir)); code != 0 {
+		t.Fatal("cpu-count change must skip, not fail")
+	}
+}

@@ -12,6 +12,11 @@
 //	jq -r .raw BENCH_old.json > old.txt
 //	jq -r .raw BENCH_new.json > new.txt
 //	benchstat old.txt new.txt
+//
+// The snapshot schema lives in internal/bench, shared with benchguard
+// (the regression gate) and symprop-load (which merges a `latency`
+// section into the same files). Writing to an existing snapshot preserves
+// any latency section already in it.
 package main
 
 import (
@@ -24,33 +29,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/symprop/symprop/internal/bench"
 )
-
-// Benchmark is one parsed `BenchmarkX-N  iters  ns/op ...` result line.
-type Benchmark struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
-	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
-	// Extra holds custom b.ReportMetric columns keyed by unit — e.g. the
-	// per-plan engine counters the scheduling benchmarks emit
-	// ("s3ttmc.owner-busy-ns/op", "s3ttmc.owner-imbalance").
-	Extra map[string]float64 `json:"extra,omitempty"`
-}
-
-// Snapshot is the schema of a BENCH_<date>.json file.
-type Snapshot struct {
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	NumCPU     int         `json:"num_cpu"`
-	Command    string      `json:"command"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-	// Raw is the unmodified benchmark output, benchstat-compatible.
-	Raw string `json:"raw"`
-}
 
 func main() {
 	out := flag.String("out", "", "output file (default BENCH_<today>.json)")
@@ -77,7 +58,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	snap := Snapshot{
+	snap := bench.Snapshot{
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -92,29 +73,42 @@ func main() {
 	if path == "" {
 		path = "BENCH_" + snap.Date + ".json"
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	// Re-running over an existing snapshot (e.g. one symprop-load already
+	// merged a latency section into) keeps the sections benchjson does not
+	// own.
+	if prev, err := os.ReadFile(path); err == nil {
+		var old bench.Snapshot
+		if json.Unmarshal(prev, &old) == nil {
+			snap.Latency = old.Latency
+		}
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
+	if err := writeSnapshot(path, &snap); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmark results)\n", path, len(snap.Benchmarks))
 }
 
+// writeSnapshot serializes the snapshot with stable indentation.
+func writeSnapshot(path string, snap *bench.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // parseBenchLines extracts result lines of the form
 //
 //	BenchmarkName-8   	     123	   4567 ns/op	  89 B/op	   2 allocs/op
-func parseBenchLines(raw string) []Benchmark {
-	var out []Benchmark
+func parseBenchLines(raw string) []bench.Benchmark {
+	var out []bench.Benchmark
 	for _, line := range strings.Split(raw, "\n") {
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
@@ -128,7 +122,7 @@ func parseBenchLines(raw string) []Benchmark {
 		if err1 != nil || err2 != nil {
 			continue
 		}
-		b := Benchmark{Name: fields[0], Iterations: iters, NsPerOp: ns}
+		b := bench.Benchmark{Name: fields[0], Iterations: iters, NsPerOp: ns}
 		for i := 4; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

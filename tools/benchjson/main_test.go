@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/symprop/symprop/internal/bench"
+)
+
+func TestParseBenchLines(t *testing.T) {
+	raw := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkS3TTMcOwner/o3_d100-8   \t 5 \t 123456 ns/op \t 789 B/op \t 12 allocs/op",
+		"BenchmarkFused-8   10   5000 ns/op   250000 s3ttmc.owner-busy-ns/op   1.04 s3ttmc.owner-imbalance",
+		"BenchmarkBroken-8  not-a-number  10 ns/op",
+		"PASS",
+	}, "\n")
+	got := parseBenchLines(raw)
+	want := []bench.Benchmark{
+		{Name: "BenchmarkS3TTMcOwner/o3_d100-8", Iterations: 5, NsPerOp: 123456, BytesPerOp: 789, AllocsOp: 12},
+		{Name: "BenchmarkFused-8", Iterations: 10, NsPerOp: 5000,
+			Extra: map[string]float64{"s3ttmc.owner-busy-ns/op": 250000, "s3ttmc.owner-imbalance": 1.04}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseBenchLines:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotRoundTrip: a snapshot carrying the full extended schema —
+// benchmarks plus a latency section — survives write → read unchanged.
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := bench.Snapshot{
+		Date: "2026-08-07", GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64",
+		NumCPU: 8, Command: "go test -bench .",
+		Benchmarks: []bench.Benchmark{
+			{Name: "BenchmarkS3TTMcX-8", Iterations: 5, NsPerOp: 1000,
+				Extra: map[string]float64{"s3ttmc.owner-busy-ns/op": 900}},
+		},
+		Raw: "BenchmarkS3TTMcX-8 5 1000 ns/op\n",
+		Latency: &bench.LatencySection{Source: "symprop-load", Runs: []bench.LatencyRun{{
+			Name: "smoke@20rps", Seed: 1, OfferedRPS: 20, AchievedRPS: 19.5,
+			DurationSec: 5, Scheduled: 100, Submitted: 98, Completed: 97,
+			Failed: 1, Shed: 2, Retries: 3, Saturated: 1,
+			P50Ms: 10, P95Ms: 40, P99Ms: 80, MaxMs: 95, MeanMs: 14,
+			Counters: map[string]int64{"jobs.submitted": 98},
+			Plans:    []bench.LatencyPlan{{Name: "s3ttmc.owner", BusyNs: 12345, Imbalance: 1.1}},
+			Windows:  []bench.LatencyWindow{{StartSec: 0, Count: 20, P50Ms: 9, P95Ms: 35, P99Ms: 60}},
+		}}},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_2026-08-07.json")
+	if err := writeSnapshot(path, &snap); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bench.Snapshot
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+// TestPreLatencySnapshotLoads is the compatibility contract: a PR-2-era
+// BENCH_*.json — written before the latency section existed — must load
+// into the extended schema with Latency nil, and re-serializing it must
+// not invent a latency key (benchguard and benchjson both read these
+// files forever).
+func TestPreLatencySnapshotLoads(t *testing.T) {
+	old := `{
+  "date": "2026-01-10",
+  "go_version": "go1.22.0",
+  "goos": "linux",
+  "goarch": "amd64",
+  "num_cpu": 8,
+  "command": "go test -run=^$ -bench=. ./internal/kernels",
+  "benchmarks": [
+    {"name": "BenchmarkS3TTMcOwner-8", "iterations": 5, "ns_per_op": 1000000,
+     "extra": {"s3ttmc.owner-busy-ns/op": 900000}}
+  ],
+  "raw": "BenchmarkS3TTMcOwner-8   5   1000000 ns/op\n"
+}`
+	var snap bench.Snapshot
+	if err := json.Unmarshal([]byte(old), &snap); err != nil {
+		t.Fatalf("pre-latency snapshot failed to load: %v", err)
+	}
+	if snap.Latency != nil {
+		t.Fatal("pre-latency snapshot grew a latency section on load")
+	}
+	if len(snap.Benchmarks) != 1 || snap.Benchmarks[0].NsPerOp != 1000000 {
+		t.Fatalf("benchmarks lost on load: %+v", snap.Benchmarks)
+	}
+	out, err := json.Marshal(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), `"latency"`) {
+		t.Fatal("re-serializing a pre-latency snapshot invented a latency key")
+	}
+}
+
+// TestWriteSnapshotPreservesLatency: benchjson re-running over a file
+// symprop-load already merged a latency section into must keep it.
+func TestWriteSnapshotPreservesLatency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-08-07.json")
+	withLat := bench.Snapshot{
+		NumCPU:  8,
+		Latency: &bench.LatencySection{Source: "symprop-load", Runs: []bench.LatencyRun{{Name: "smoke@20rps", P95Ms: 40}}},
+	}
+	if err := writeSnapshot(path, &withLat); err != nil {
+		t.Fatal(err)
+	}
+	// The main flow: read existing, carry the latency section over.
+	fresh := bench.Snapshot{NumCPU: 8, Benchmarks: []bench.Benchmark{{Name: "BenchmarkX-8", NsPerOp: 10}}}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old bench.Snapshot
+		if json.Unmarshal(prev, &old) == nil {
+			fresh.Latency = old.Latency
+		}
+	}
+	if err := writeSnapshot(path, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bench.Snapshot
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Latency == nil || len(got.Latency.Runs) != 1 || got.Latency.Runs[0].Name != "smoke@20rps" {
+		t.Fatalf("latency section lost across benchjson rewrite: %+v", got.Latency)
+	}
+	if len(got.Benchmarks) != 1 {
+		t.Fatalf("benchmarks lost: %+v", got.Benchmarks)
+	}
+}
